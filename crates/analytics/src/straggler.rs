@@ -1,0 +1,235 @@
+//! The §IV-C numerical model of straggler mitigation with reserved slots.
+//!
+//! A phase of `N` tasks runs on `N` slots. Without mitigation its
+//! completion time is the maximum order statistic `T = t_(N)`. With
+//! mitigation, copies are launched once half the tasks have completed
+//! (that is when the number of reserved-idle slots first covers every
+//! ongoing task), so
+//!
+//! `T' = t_(ceil(N/2)) + max_{ceil(N/2) < k <= N} min{ t_(k) - t_(ceil(N/2)), t'_(k) }`
+//!
+//! where `t'_(k)` is the (i.i.d.) duration of the copy of the k-th
+//! shortest task. This module evaluates both closed forms on given
+//! durations and reproduces the Monte-Carlo study of Fig. 10.
+
+use ssr_simcore::dist::{Distribution, Pareto};
+use ssr_simcore::rng::SimRng;
+use ssr_simcore::stats::order_statistics;
+
+use crate::ModelError;
+
+/// Phase completion time without mitigation: the slowest task.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if `durations` is empty.
+pub fn phase_time(durations: &[f64]) -> Result<f64, ModelError> {
+    durations
+        .iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.max(x))))
+        .ok_or_else(|| ModelError::new("phase needs at least one task"))
+}
+
+/// Phase completion time with reserved-slot straggler mitigation, given
+/// the original durations and one copy duration per task (`copies[i]` is
+/// the copy of the task with the i-th *shortest* original duration; only
+/// the tail entries `k > ceil(N/2)` are used).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if `durations` is empty or `copies` is shorter
+/// than `durations`.
+pub fn phase_time_with_mitigation(durations: &[f64], copies: &[f64]) -> Result<f64, ModelError> {
+    let n = durations.len();
+    if n == 0 {
+        return Err(ModelError::new("phase needs at least one task"));
+    }
+    if copies.len() < n {
+        return Err(ModelError::new(format!(
+            "need one copy duration per task: {} < {n}",
+            copies.len()
+        )));
+    }
+    let sorted = order_statistics(durations);
+    let half = n.div_ceil(2); // ceil(N/2), 1-based index of the launch point
+    let launch = sorted[half - 1];
+    let mut tail_max: f64 = 0.0;
+    for k in half..n {
+        // 0-based k corresponds to the (k+1)-th shortest task.
+        let remaining = sorted[k] - launch;
+        let effective = remaining.min(copies[k]);
+        tail_max = tail_max.max(effective);
+    }
+    Ok(launch + tail_max)
+}
+
+/// The outcome of one Monte-Carlo study point (one `(alpha, n)` cell of
+/// Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationStudy {
+    /// Pareto shape used.
+    pub alpha: f64,
+    /// Degree of parallelism.
+    pub n: u32,
+    /// Mean phase time without mitigation, `E[T]`.
+    pub mean_without: f64,
+    /// Mean phase time with mitigation, `E[T']`.
+    pub mean_with: f64,
+}
+
+impl MitigationStudy {
+    /// Relative reduction of phase completion time,
+    /// `1 - E[T'] / E[T]` — the quantity Fig. 10 reports ("over 50% at
+    /// alpha = 1.6").
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.mean_with / self.mean_without
+    }
+
+    /// Speed-up factor `E[T] / E[T']`.
+    pub fn speedup(&self) -> f64 {
+        self.mean_without / self.mean_with
+    }
+}
+
+/// Runs the Fig. 10 Monte-Carlo study: `runs` phases of `n` i.i.d.
+/// Pareto(`t_m = 1`, `alpha`) tasks, with copy durations drawn i.i.d. from
+/// the same distribution.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `alpha > 0`, `n >= 1` and `runs >= 1`.
+pub fn mitigation_study(
+    alpha: f64,
+    n: u32,
+    runs: u32,
+    seed: u64,
+) -> Result<MitigationStudy, ModelError> {
+    if n == 0 || runs == 0 {
+        return Err(ModelError::new("study needs n >= 1 and runs >= 1"));
+    }
+    let pareto =
+        Pareto::new(1.0, alpha).map_err(|e| ModelError::new(format!("bad shape: {e}")))?;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut sum_t = 0.0;
+    let mut sum_tp = 0.0;
+    for _ in 0..runs {
+        let durations: Vec<f64> = (0..n).map(|_| pareto.sample(&mut rng)).collect();
+        let copies: Vec<f64> = (0..n).map(|_| pareto.sample(&mut rng)).collect();
+        sum_t += phase_time(&durations)?;
+        sum_tp += phase_time_with_mitigation(&durations, &copies)?;
+    }
+    Ok(MitigationStudy {
+        alpha,
+        n,
+        mean_without: sum_t / runs as f64,
+        mean_with: sum_tp / runs as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_time_is_max() {
+        assert_eq!(phase_time(&[1.0, 5.0, 3.0]).unwrap(), 5.0);
+        assert!(phase_time(&[]).is_err());
+    }
+
+    #[test]
+    fn mitigation_formula_hand_computed() {
+        // N = 4, sorted durations 1, 2, 10, 20; launch at t_(2) = 2.
+        // Copies for k=3,4: 1 and 3.
+        // k=3: min(10-2, 1) = 1; k=4: min(20-2, 3) = 3 -> T' = 2 + 3 = 5.
+        let durations = [10.0, 1.0, 20.0, 2.0];
+        let copies = [99.0, 99.0, 1.0, 3.0];
+        assert_eq!(phase_time_with_mitigation(&durations, &copies).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn slow_copies_leave_time_unchanged() {
+        // If every copy is slower than the remaining original work, T' = T.
+        let durations = [1.0, 2.0, 3.0, 4.0];
+        let copies = [1e9; 4];
+        assert_eq!(phase_time_with_mitigation(&durations, &copies).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn instant_copies_collapse_to_launch_point() {
+        let durations = [1.0, 2.0, 30.0, 40.0];
+        let copies = [0.0; 4];
+        assert_eq!(phase_time_with_mitigation(&durations, &copies).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn single_task_phase() {
+        // N = 1: half = 1, launch = t_(1), no tail -> T' = T.
+        assert_eq!(phase_time_with_mitigation(&[7.0], &[0.1]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn odd_parallelism_launch_point() {
+        // N = 5: half = 3, launch = t_(3) = 3. Tail k=4,5.
+        let durations = [1.0, 2.0, 3.0, 10.0, 100.0];
+        let copies = [0.0, 0.0, 0.0, 1.0, 2.0];
+        // k=4: min(10-3, 1) = 1; k=5: min(100-3, 2) = 2 -> T' = 5.
+        assert_eq!(phase_time_with_mitigation(&durations, &copies).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn mitigation_never_hurts() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let p = Pareto::new(1.0, 1.3).unwrap();
+        for _ in 0..200 {
+            let d: Vec<f64> = (0..16).map(|_| p.sample(&mut rng)).collect();
+            let c: Vec<f64> = (0..16).map(|_| p.sample(&mut rng)).collect();
+            let t = phase_time(&d).unwrap();
+            let tp = phase_time_with_mitigation(&d, &c).unwrap();
+            assert!(tp <= t + 1e-12, "T'={tp} > T={t}");
+        }
+    }
+
+    #[test]
+    fn mismatched_copies_rejected() {
+        assert!(phase_time_with_mitigation(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn study_reproduces_paper_claim_alpha_16() {
+        // §IV-C: "For typical production workloads with alpha = 1.6,
+        // straggler mitigation reduces the job completion time by over 50%"
+        // (N = 200 in Fig. 10's top curve).
+        let s = mitigation_study(1.6, 200, 400, 42).unwrap();
+        assert!(s.reduction() > 0.5, "reduction {} <= 0.5", s.reduction());
+        assert!(s.speedup() > 2.0);
+    }
+
+    #[test]
+    fn study_benefit_grows_with_heavier_tail() {
+        let heavy = mitigation_study(1.2, 100, 300, 1).unwrap();
+        let light = mitigation_study(2.8, 100, 300, 1).unwrap();
+        assert!(heavy.reduction() > light.reduction());
+    }
+
+    #[test]
+    fn study_benefit_grows_with_parallelism() {
+        let small = mitigation_study(1.6, 20, 400, 2).unwrap();
+        let large = mitigation_study(1.6, 200, 400, 2).unwrap();
+        assert!(large.reduction() > small.reduction());
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = mitigation_study(1.6, 50, 100, 9).unwrap();
+        let b = mitigation_study(1.6, 50, 100, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn study_error_cases() {
+        assert!(mitigation_study(1.6, 0, 10, 0).is_err());
+        assert!(mitigation_study(1.6, 10, 0, 0).is_err());
+        assert!(mitigation_study(0.0, 10, 10, 0).is_err());
+    }
+}

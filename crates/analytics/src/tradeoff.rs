@@ -1,0 +1,380 @@
+//! The isolation/utilization trade-off model of §IV-B.
+//!
+//! Task durations follow the Pareto distribution of Eq. (1) with scale
+//! `t_m` and shape `alpha`. A phase of `n` parallel tasks reserves its
+//! slots until deadline `d`; the reservation is *effective* if all tasks
+//! finish by `d`:
+//!
+//! * Eq. (2): isolation `P = [1 - (t_m / d)^alpha]^n`,
+//! * Eq. (3): expected utilization lower bound
+//!   `E[U] >= alpha/(alpha-1) (t_m/d) - 1/(alpha-1) (t_m/d)^alpha`,
+//! * Eq. (4): the two combined via `t_m/d = (1 - P^{1/n})^{1/alpha}`.
+
+use crate::ModelError;
+
+fn check_shape(alpha: f64) -> Result<(), ModelError> {
+    if !(alpha.is_finite() && alpha > 1.0) {
+        return Err(ModelError::new(format!(
+            "Pareto shape must exceed 1 for a finite mean, got {alpha}"
+        )));
+    }
+    Ok(())
+}
+
+fn check_scale(t_m: f64) -> Result<(), ModelError> {
+    if !(t_m.is_finite() && t_m > 0.0) {
+        return Err(ModelError::new(format!("Pareto scale must be positive, got {t_m}")));
+    }
+    Ok(())
+}
+
+fn check_tasks(n: u32) -> Result<(), ModelError> {
+    if n == 0 {
+        return Err(ModelError::new("a phase needs at least one task"));
+    }
+    Ok(())
+}
+
+fn check_probability(p: f64) -> Result<(), ModelError> {
+    if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+        return Err(ModelError::new(format!("probability must lie in [0, 1], got {p}")));
+    }
+    Ok(())
+}
+
+/// Eq. (2): the probability that all `n` tasks of a phase finish before
+/// the reservation deadline `d` — the isolation guarantee `P`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `t_m > 0`, `alpha > 1`, `n >= 1` and `d`
+/// is finite and non-negative.
+pub fn isolation_probability(d: f64, t_m: f64, alpha: f64, n: u32) -> Result<f64, ModelError> {
+    check_scale(t_m)?;
+    check_shape(alpha)?;
+    check_tasks(n)?;
+    if !(d.is_finite() && d >= 0.0) {
+        return Err(ModelError::new(format!("deadline must be finite and non-negative, got {d}")));
+    }
+    if d < t_m {
+        return Ok(0.0);
+    }
+    Ok((1.0 - (t_m / d).powf(alpha)).powi(n as i32))
+}
+
+/// The inverse of Eq. (2): the deadline `D = t_m (1 - P^{1/N})^{-1/alpha}`
+/// that enforces isolation guarantee `p` (§IV-B, "Navigating the
+/// trade-off" — this is the tunable knob exposed to cluster operators).
+///
+/// Returns `f64::INFINITY` for `p = 1` (strict isolation requires an
+/// unbounded reservation).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `t_m > 0`, `alpha > 1`, `n >= 1` and `p`
+/// lies in `[0, 1]`.
+pub fn deadline_for_isolation(p: f64, t_m: f64, alpha: f64, n: u32) -> Result<f64, ModelError> {
+    check_scale(t_m)?;
+    check_shape(alpha)?;
+    check_tasks(n)?;
+    check_probability(p)?;
+    if p == 0.0 {
+        return Ok(t_m);
+    }
+    if p == 1.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(t_m * (1.0 - p.powf(1.0 / n as f64)).powf(-1.0 / alpha))
+}
+
+/// Eq. (3): the lower bound on expected slot utilization when every slot
+/// is reserved until deadline `d` (assuming the worst case of
+/// reservation-to-deadline holding).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `t_m > 0`, `alpha > 1` and `d >= t_m`.
+pub fn utilization_bound_for_deadline(d: f64, t_m: f64, alpha: f64) -> Result<f64, ModelError> {
+    check_scale(t_m)?;
+    check_shape(alpha)?;
+    if !(d >= t_m) {
+        return Err(ModelError::new(format!(
+            "deadline {d} must be at least the scale parameter {t_m}"
+        )));
+    }
+    let ratio = t_m / d; // 0 for an infinite deadline
+    Ok(alpha / (alpha - 1.0) * ratio - 1.0 / (alpha - 1.0) * ratio.powf(alpha))
+}
+
+/// Eq. (4): the utilization lower bound as a function of the isolation
+/// guarantee `p` — the trade-off curve of Fig. 8. Monotonically decreasing
+/// in `p`: `E[U] = 1` at `p = 0` and `E[U] -> 0` as `p -> 1`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `alpha > 1`, `n >= 1` and `p` lies in
+/// `[0, 1]`.
+pub fn utilization_bound_for_isolation(p: f64, alpha: f64, n: u32) -> Result<f64, ModelError> {
+    check_shape(alpha)?;
+    check_tasks(n)?;
+    check_probability(p)?;
+    let ratio = (1.0 - p.powf(1.0 / n as f64)).powf(1.0 / alpha);
+    Ok(alpha / (alpha - 1.0) * ratio - 1.0 / (alpha - 1.0) * ratio.powf(alpha))
+}
+
+/// The *exact* expected utilization over a reservation window of length
+/// `d`: `E[min(t, d)] / d`, counting work still in flight at the deadline
+/// — whereas Eq. (3) is a lower bound that credits only tasks completed
+/// by `d`. Useful to quantify how conservative the paper's bound is.
+///
+/// Closed form:
+/// `E[min(t,d)] = alpha/(alpha-1) t_m [1 - (t_m/d)^{alpha-1}] + d (t_m/d)^alpha`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `t_m > 0`, `alpha > 1` and `d >= t_m`.
+pub fn utilization_exact_for_deadline(d: f64, t_m: f64, alpha: f64) -> Result<f64, ModelError> {
+    check_scale(t_m)?;
+    check_shape(alpha)?;
+    if !(d >= t_m) {
+        return Err(ModelError::new(format!(
+            "deadline {d} must be at least the scale parameter {t_m}"
+        )));
+    }
+    let ratio = t_m / d;
+    let completed_part = alpha / (alpha - 1.0) * t_m * (1.0 - ratio.powf(alpha - 1.0));
+    let in_flight_part = d * ratio.powf(alpha);
+    Ok((completed_part + in_flight_part) / d)
+}
+
+/// One point of the Fig. 8 trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Isolation guarantee `P`.
+    pub isolation: f64,
+    /// Utilization lower bound `E[U]`.
+    pub utilization: f64,
+}
+
+/// Samples the Eq. (4) trade-off curve at `points` evenly spaced isolation
+/// levels in `[0, 1]` (inclusive), as plotted in Fig. 8.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `alpha > 1`, `n >= 1` and `points >= 2`.
+pub fn tradeoff_curve(alpha: f64, n: u32, points: usize) -> Result<Vec<TradeoffPoint>, ModelError> {
+    check_shape(alpha)?;
+    check_tasks(n)?;
+    if points < 2 {
+        return Err(ModelError::new("a curve needs at least two points"));
+    }
+    (0..points)
+        .map(|i| {
+            let p = i as f64 / (points - 1) as f64;
+            Ok(TradeoffPoint { isolation: p, utilization: utilization_bound_for_isolation(p, alpha, n)? })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_extremes() {
+        // Deadline below the minimum duration: no chance every task is done.
+        assert_eq!(isolation_probability(0.5, 1.0, 1.6, 10).unwrap(), 0.0);
+        // At d = t_m the per-task probability is 0.
+        assert_eq!(isolation_probability(1.0, 1.0, 1.6, 10).unwrap(), 0.0);
+        // Very large deadline: approaches 1.
+        assert!(isolation_probability(1e9, 1.0, 1.6, 10).unwrap() > 0.999);
+    }
+
+    #[test]
+    fn isolation_is_monotone_in_deadline() {
+        let mut last = 0.0;
+        for d in [1.5, 2.0, 4.0, 8.0, 32.0] {
+            let p = isolation_probability(d, 1.0, 1.6, 20).unwrap();
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn deadline_inverts_isolation() {
+        for &p in &[0.1, 0.4, 0.9, 0.99] {
+            for &n in &[1u32, 20, 200] {
+                let d = deadline_for_isolation(p, 2.0, 1.6, n).unwrap();
+                let back = isolation_probability(d, 2.0, 1.6, n).unwrap();
+                assert!((back - p).abs() < 1e-9, "p={p} n={n}: got {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_extremes() {
+        assert_eq!(deadline_for_isolation(0.0, 2.0, 1.6, 20).unwrap(), 2.0);
+        assert_eq!(deadline_for_isolation(1.0, 2.0, 1.6, 20).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn utilization_bound_endpoints() {
+        // d = t_m: every slot is busy for its full (reserved) period.
+        let u = utilization_bound_for_deadline(1.0, 1.0, 1.6).unwrap();
+        assert!((u - 1.0).abs() < 1e-12);
+        // Infinite deadline: bound goes to zero.
+        let u = utilization_bound_for_deadline(1e12, 1.0, 1.6).unwrap();
+        assert!(u < 1e-6);
+    }
+
+    #[test]
+    fn eq4_endpoints_match_paper() {
+        // "providing no isolation (P = 0) incurs no utilization loss".
+        let u0 = utilization_bound_for_isolation(0.0, 1.6, 20).unwrap();
+        assert!((u0 - 1.0).abs() < 1e-12);
+        // "enforcing strict isolation (P = 1) may lead to arbitrarily low
+        // utilization".
+        let u1 = utilization_bound_for_isolation(1.0, 1.6, 20).unwrap();
+        assert!(u1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq4_is_monotonically_decreasing() {
+        for &alpha in &[1.2, 1.6, 2.0, 2.4] {
+            for &n in &[20u32, 200] {
+                let curve = tradeoff_curve(alpha, n, 101).unwrap();
+                for w in curve.windows(2) {
+                    assert!(
+                        w[1].utilization <= w[0].utilization + 1e-12,
+                        "alpha={alpha} n={n}: not decreasing at P={}",
+                        w[1].isolation
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavier_tail_gives_sharper_tradeoff() {
+        // Fig. 8: at a moderate isolation level, a heavier tail (smaller
+        // alpha) yields lower achievable utilization.
+        let heavy = utilization_bound_for_isolation(0.6, 1.2, 20).unwrap();
+        let light = utilization_bound_for_isolation(0.6, 2.4, 20).unwrap();
+        assert!(heavy < light, "heavy={heavy} light={light}");
+    }
+
+    #[test]
+    fn higher_parallelism_gives_sharper_tradeoff() {
+        // Fig. 8: N = 200 is strictly worse than N = 20 at equal P.
+        let small = utilization_bound_for_isolation(0.6, 1.6, 20).unwrap();
+        let large = utilization_bound_for_isolation(0.6, 1.6, 200).unwrap();
+        assert!(large < small, "large={large} small={small}");
+    }
+
+    #[test]
+    fn eq3_eq4_consistency() {
+        // Eq. (4) is Eq. (3) evaluated at the Eq. (2)-inverting deadline.
+        let (p, t_m, alpha, n) = (0.7, 3.0, 1.6, 40u32);
+        let d = deadline_for_isolation(p, t_m, alpha, n).unwrap();
+        let via_deadline = utilization_bound_for_deadline(d, t_m, alpha).unwrap();
+        let via_isolation = utilization_bound_for_isolation(p, alpha, n).unwrap();
+        assert!((via_deadline - via_isolation).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_utilization_dominates_the_bound() {
+        for &alpha in &[1.2, 1.6, 2.4] {
+            for &d in &[1.5, 3.0, 10.0, 100.0] {
+                let bound = utilization_bound_for_deadline(d, 1.0, alpha).unwrap();
+                let exact = utilization_exact_for_deadline(d, 1.0, alpha).unwrap();
+                assert!(
+                    exact >= bound - 1e-12,
+                    "alpha={alpha} d={d}: exact {exact} < bound {bound}"
+                );
+                assert!(exact <= 1.0 + 1e-12);
+            }
+        }
+        // At d = t_m both are 1 (a task exactly fills the window).
+        let exact = utilization_exact_for_deadline(1.0, 1.0, 1.6).unwrap();
+        assert!((exact - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_utilization_matches_monte_carlo() {
+        use ssr_simcore::dist::{Distribution, Pareto};
+        use ssr_simcore::rng::SimRng;
+        let (t_m, alpha, d) = (2.0, 1.6, 7.0);
+        let closed = utilization_exact_for_deadline(d, t_m, alpha).unwrap();
+        let p = Pareto::new(t_m, alpha).unwrap();
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 200_000;
+        let mc: f64 =
+            (0..n).map(|_| p.sample(&mut rng).min(d) / d).sum::<f64>() / n as f64;
+        assert!((closed - mc).abs() < 0.01, "closed {closed} vs monte-carlo {mc}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(isolation_probability(1.0, 0.0, 1.6, 10).is_err());
+        assert!(isolation_probability(1.0, 1.0, 1.0, 10).is_err());
+        assert!(isolation_probability(1.0, 1.0, 1.6, 0).is_err());
+        assert!(isolation_probability(f64::NAN, 1.0, 1.6, 10).is_err());
+        assert!(deadline_for_isolation(1.5, 1.0, 1.6, 10).is_err());
+        assert!(utilization_bound_for_deadline(0.5, 1.0, 1.6).is_err());
+        assert!(tradeoff_curve(1.6, 10, 1).is_err());
+        let err = tradeoff_curve(0.9, 10, 5).unwrap_err();
+        assert!(format!("{err}").contains("shape"));
+    }
+
+    #[test]
+    fn curve_has_requested_shape() {
+        let curve = tradeoff_curve(1.6, 20, 11).unwrap();
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].isolation, 0.0);
+        assert_eq!(curve[10].isolation, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Eq. (2) always yields a probability; Eq. (4) always yields a
+        /// utilization in [0, 1], decreasing in P.
+        #[test]
+        fn domains_hold(
+            alpha in 1.01f64..5.0,
+            t_m in 0.1f64..100.0,
+            d_factor in 1.0f64..1000.0,
+            n in 1u32..500,
+            p1 in 0.0f64..=1.0,
+            p2 in 0.0f64..=1.0,
+        ) {
+            let d = t_m * d_factor;
+            let p = isolation_probability(d, t_m, alpha, n).unwrap();
+            prop_assert!((0.0..=1.0).contains(&p));
+            let u = utilization_bound_for_isolation(p1, alpha, n).unwrap();
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&u));
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let u_lo = utilization_bound_for_isolation(lo, alpha, n).unwrap();
+            let u_hi = utilization_bound_for_isolation(hi, alpha, n).unwrap();
+            prop_assert!(u_hi <= u_lo + 1e-9);
+        }
+
+        /// The deadline knob round-trips through Eq. (2).
+        #[test]
+        fn knob_round_trips(
+            alpha in 1.05f64..4.0,
+            t_m in 0.1f64..50.0,
+            n in 1u32..300,
+            p in 0.01f64..0.99,
+        ) {
+            let d = deadline_for_isolation(p, t_m, alpha, n).unwrap();
+            prop_assert!(d >= t_m);
+            let back = isolation_probability(d, t_m, alpha, n).unwrap();
+            prop_assert!((back - p).abs() < 1e-6);
+        }
+    }
+}

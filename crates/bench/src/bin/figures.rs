@@ -1,0 +1,49 @@
+//! Regenerates the paper's evaluation figures as text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures all            # every figure, in paper order
+//! figures fig08 fig10    # selected figures
+//! figures --list         # available ids
+//! ```
+//!
+//! Figures driven by the simulator run at a scaled-down default; set
+//! `SSR_FULL=1` for paper-scale runs (slower).
+
+use std::process::ExitCode;
+
+use ssr_bench::figures;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <all | --list | fig-id...>");
+        eprintln!("known ids: {}", figures::ALL.join(" "));
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in figures::ALL {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        figures::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match figures::run(id) {
+            Some(output) => {
+                println!("==================================================================");
+                println!("{output}");
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (known: {})", figures::ALL.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

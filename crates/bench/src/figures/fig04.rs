@@ -1,0 +1,72 @@
+//! **Fig. 4** — Foreground jobs, despite a higher priority, are severely
+//! slowed down by background jobs under work conservation.
+//!
+//! Three SparkBench applications (KMeans, SVM, PageRank) run at high
+//! priority against 100 Google-trace-like background jobs, in three
+//! contention settings: alone, with the background, and with *prolonged*
+//! (task runtime × 2) background. Cluster: 50 nodes × 2 slots (paper);
+//! 24 × 2 at the quick default.
+
+use ssr_dag::JobSpec;
+use ssr_sim::{Experiment, OrderConfig, PolicyConfig};
+
+use crate::figures::common::{
+    background_jobs, cluster_sim, ec2_cluster, foreground_apps, scaled,
+};
+use crate::table::{num, Table};
+
+/// Runs the figure and renders its table.
+pub fn run() -> String {
+    run_scaled(scaled(40, 100), 21)
+}
+
+pub(crate) fn run_scaled(bg_jobs: u32, seed: u64) -> String {
+    let mut table =
+        Table::new(["app", "alone JCT (s)", "bg slowdown", "prolonged-bg slowdown"]);
+    for app in foreground_apps() {
+        let (alone, s1) = contended_slowdown(&app, bg_jobs, 1.0, seed);
+        let (_, s2) = contended_slowdown(&app, bg_jobs, 2.0, seed);
+        table.row([
+            app.name().to_owned(),
+            num(alone),
+            format!("{s1:.2}x"),
+            format!("{s2:.2}x"),
+        ]);
+    }
+    format!(
+        "Fig. 4 — foreground slowdown under work conservation, by background level\n\
+         paper: slowdown grows with background task duration (up to several x)\n\n{}",
+        table.render()
+    )
+}
+
+fn contended_slowdown(app: &JobSpec, bg_jobs: u32, factor: f64, seed: u64) -> (f64, f64) {
+    let outcome = Experiment::new(
+        cluster_sim(ec2_cluster(), seed).stop_after([app.name()]),
+        PolicyConfig::WorkConserving,
+        OrderConfig::FifoPriority,
+    )
+    .foreground([app.clone()])
+    .background(background_jobs(bg_jobs, factor, seed))
+    .run();
+    let row = outcome.slowdown_of(app.name()).expect("foreground measured");
+    (row.alone_jct_secs, row.slowdown)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn slowdown_grows_with_background_duration() {
+        // Tiny version: one app, few background jobs.
+        let out = super::run_scaled(40, 5);
+        assert!(out.contains("kmeans"));
+        for app in ["kmeans", "svm", "pagerank"] {
+            let line = out.lines().find(|l| l.starts_with(app)).unwrap();
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            let s1: f64 = cells[cells.len() - 2].trim_end_matches('x').parse().unwrap();
+            let s2: f64 = cells[cells.len() - 1].trim_end_matches('x').parse().unwrap();
+            assert!(s1 > 1.05, "{app} not slowed by background: {s1}");
+            assert!(s2 >= s1 * 0.9, "{app}: prolonged bg should hurt at least as much");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! **Fig. 8** — The numerical trade-off between utilization and isolation
+//! (Eq. 4), for shape parameters α ∈ {1.2, 1.6, 2.0, 2.4} and degrees of
+//! parallelism N ∈ {20, 200}.
+
+use ssr_analytics::tradeoff::tradeoff_curve;
+
+use crate::table::{num, Table};
+
+const ALPHAS: [f64; 4] = [1.2, 1.6, 2.0, 2.4];
+const NS: [u32; 2] = [20, 200];
+const POINTS: usize = 11;
+
+/// Runs the figure and renders its tables.
+pub fn run() -> String {
+    let mut out = String::from(
+        "Fig. 8 — utilization lower bound E[U] vs isolation guarantee P (Eq. 4)\n\
+         paper: trade-off sharpens as the tail gets heavier (smaller alpha)\n\n",
+    );
+    for n in NS {
+        let mut table = Table::new([
+            "P".to_owned(),
+            format!("E[U] a=1.2 N={n}"),
+            format!("E[U] a=1.6 N={n}"),
+            format!("E[U] a=2.0 N={n}"),
+            format!("E[U] a=2.4 N={n}"),
+        ]);
+        let curves: Vec<Vec<f64>> = ALPHAS
+            .iter()
+            .map(|&a| {
+                tradeoff_curve(a, n, POINTS)
+                    .expect("valid parameters")
+                    .into_iter()
+                    .map(|p| p.utilization)
+                    .collect()
+            })
+            .collect();
+        for i in 0..POINTS {
+            let p = i as f64 / (POINTS - 1) as f64;
+            table.row([
+                num(p),
+                num(curves[0][i]),
+                num(curves[1][i]),
+                num(curves[2][i]),
+                num(curves[3][i]),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn curves_have_the_paper_shape() {
+        let out = super::run();
+        // At P = 0 every curve starts at 1.000; at P = 1 it ends at 0.000.
+        let check = |first: &str, rest: &str| {
+            out.lines().filter(|l| l.starts_with(first)).all(|l| {
+                l.split_whitespace().skip(1).all(|c| c == rest)
+            })
+        };
+        assert!(check("0.000", "1.000"), "P=0 rows must all be 1.000:\n{out}");
+        assert!(check("1.000", "0.000"), "P=1 rows must all be 0.000:\n{out}");
+    }
+}

@@ -1,0 +1,62 @@
+//! **Fig. 10** — Numerical study of reserved-slot straggler mitigation:
+//! phase-completion-time reduction vs Pareto shape α, for N ∈ {20, 100,
+//! 200}, 1000 Monte-Carlo runs per point (as in the paper).
+
+use ssr_analytics::straggler::mitigation_study;
+
+use crate::figures::common::scaled;
+use crate::table::{pct, Table};
+
+const NS: [u32; 3] = [20, 100, 200];
+
+/// Runs the figure and renders its table.
+pub fn run() -> String {
+    run_scaled(scaled(400, 1000), 101)
+}
+
+pub(crate) fn run_scaled(runs: u32, seed: u64) -> String {
+    let alphas = [1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8];
+    let mut table = Table::new([
+        "alpha",
+        "JCT reduction N=20",
+        "JCT reduction N=100",
+        "JCT reduction N=200",
+    ]);
+    let mut at_16 = [0.0f64; 3];
+    for &alpha in &alphas {
+        let mut cells = vec![format!("{alpha:.1}")];
+        for (i, &n) in NS.iter().enumerate() {
+            let study = mitigation_study(alpha, n, runs, seed + n as u64).expect("valid study");
+            if (alpha - 1.6).abs() < 1e-9 {
+                at_16[i] = study.reduction();
+            }
+            cells.push(pct(study.reduction()));
+        }
+        table.row(cells);
+    }
+    format!(
+        "Fig. 10 — straggler mitigation speedup (numerical, {runs} runs/point)\n\
+         paper: heavier tails and higher parallelism benefit more; >50% at alpha=1.6\n\
+         measured at alpha=1.6: N=20 {}, N=100 {}, N=200 {}\n\n{}",
+        pct(at_16[0]),
+        pct(at_16[1]),
+        pct(at_16[2]),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reduction_exceeds_half_at_alpha_16_high_parallelism() {
+        let out = super::run_scaled(200, 7);
+        let line = out.lines().find(|l| l.starts_with("measured at alpha=1.6")).unwrap();
+        let pcts: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|w| w.trim_end_matches(&[',', '%'][..]).parse::<f64>().ok())
+            .collect();
+        // N=200 reduction (last) must exceed 50% and N=20 (first numeric).
+        let n200 = pcts.last().copied().unwrap();
+        assert!(n200 > 50.0, "N=200 reduction {n200}% <= 50%");
+    }
+}

@@ -1,0 +1,72 @@
+//! **Fig. 12** — Slowdown of each foreground job with and without
+//! speculative slot reservation, under (a) the standard background and
+//! (b) background task durations doubled.
+//!
+//! The paper's headline cluster result: with SSR each foreground job sees
+//! < 10% slowdown; without it, severalfold.
+
+use ssr_dag::JobSpec;
+use ssr_sim::{Experiment, OrderConfig, PolicyConfig};
+
+use crate::figures::common::{
+    background_jobs, cluster_sim, ec2_cluster, foreground_apps, scaled,
+};
+use crate::table::Table;
+
+/// Runs the figure and renders its tables.
+pub fn run() -> String {
+    run_scaled(scaled(40, 100), 51)
+}
+
+pub(crate) fn run_scaled(bg_jobs: u32, seed: u64) -> String {
+    let mut out = String::from(
+        "Fig. 12 — foreground slowdown with vs without speculative slot reservation\n\
+         paper: SSR holds every foreground job below 1.10x slowdown\n\n",
+    );
+    for (label, factor) in [("(a) standard background", 1.0), ("(b) background x2", 2.0)] {
+        let mut table = Table::new(["app", "w/o SSR slowdown", "w/ SSR slowdown"]);
+        for app in foreground_apps() {
+            let wc = slowdown(&app, PolicyConfig::WorkConserving, bg_jobs, factor, seed);
+            let ssr = slowdown(&app, PolicyConfig::ssr_strict(), bg_jobs, factor, seed);
+            table.row([app.name().to_owned(), format!("{wc:.2}x"), format!("{ssr:.2}x")]);
+        }
+        out.push_str(label);
+        out.push('\n');
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn slowdown(app: &JobSpec, policy: PolicyConfig, bg_jobs: u32, factor: f64, seed: u64) -> f64 {
+    Experiment::new(
+        cluster_sim(ec2_cluster(), seed).stop_after([app.name()]),
+        policy,
+        OrderConfig::FifoPriority,
+    )
+        .foreground([app.clone()])
+        .background(background_jobs(bg_jobs, factor, seed))
+        .run()
+        .slowdown_of(app.name())
+        .expect("foreground measured")
+        .slowdown
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ssr_enforces_isolation_where_work_conserving_fails() {
+        let out = super::run_scaled(15, 5);
+        for app in ["kmeans", "svm", "pagerank"] {
+            for line in out.lines().filter(|l| l.starts_with(app)) {
+                let cells: Vec<f64> = line
+                    .split_whitespace()
+                    .filter_map(|w| w.strip_suffix('x').and_then(|n| n.parse().ok()))
+                    .collect();
+                let (wc, ssr) = (cells[0], cells[1]);
+                assert!(ssr <= wc + 1e-9, "{app}: SSR {ssr} worse than WC {wc}");
+                assert!(ssr < 1.35, "{app}: SSR slowdown {ssr} too large");
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! **Fig. 14** — The measured trade-off between service isolation and
+//! utilization, navigated via the isolation-target knob `P`.
+//!
+//! Each foreground application runs against the background at isolation
+//! targets P ∈ {0.2 … 1.0}. P = 1 (never-expiring reservations) is the
+//! baseline with maximal utilization loss; *utilization improvement* at
+//! smaller P is the reduction of reserved-idle slot time relative to that
+//! baseline. The paper finds less slowdown at higher P, at the price of
+//! smaller utilization improvement.
+
+use ssr_dag::JobSpec;
+use ssr_sim::{Experiment, ExperimentOutcome, OrderConfig, PolicyConfig};
+
+use crate::figures::common::{
+    background_jobs, cluster_sim, ec2_cluster, foreground_apps, scaled,
+};
+use crate::table::{pct, Table};
+
+const TARGETS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Runs the figure and renders its tables.
+pub fn run() -> String {
+    run_scaled(scaled(40, 100), scaled(3, 10), 71)
+}
+
+pub(crate) fn run_scaled(bg_jobs: u32, reps: u32, seed: u64) -> String {
+    let mut out = String::from(
+        "Fig. 14 — isolation target P vs slowdown and utilization improvement\n\
+         paper: higher P -> lower slowdown but smaller utilization improvement\n\n",
+    );
+    for app in foreground_apps() {
+        let baseline = mean_over_reps(&app, Some(1.0), bg_jobs, reps, seed);
+        let mut table = Table::new(["P", "slowdown", "reserved-idle (slot-s)", "util improvement"]);
+        // Work-conserving reference: the no-reservation endpoint of the
+        // trade-off (maximal utilization, no isolation).
+        let wc = mean_over_reps(&app, None, bg_jobs, reps, seed);
+        table.row([
+            "wc".to_owned(),
+            format!("{:.2}x", wc.0),
+            format!("{:.0}", wc.1),
+            "n/a".to_owned(),
+        ]);
+        for &p in &TARGETS {
+            let (slowdown, idle) = if (p - 1.0).abs() < 1e-12 {
+                baseline
+            } else {
+                mean_over_reps(&app, Some(p), bg_jobs, reps, seed)
+            };
+            let improvement = if baseline.1 > 0.0 { 1.0 - idle / baseline.1 } else { 0.0 };
+            table.row([
+                format!("{p:.1}"),
+                format!("{slowdown:.2}x"),
+                format!("{idle:.0}"),
+                pct(improvement),
+            ]);
+        }
+        out.push_str(&format!("{}\n{}\n", app.name(), table.render()));
+    }
+    out
+}
+
+/// Mean (slowdown, reserved-idle slot-seconds) over repetitions;
+/// `p = None` runs the work-conserving reference.
+fn mean_over_reps(app: &JobSpec, p: Option<f64>, bg_jobs: u32, reps: u32, seed: u64) -> (f64, f64) {
+    let mut slowdown = 0.0;
+    let mut idle = 0.0;
+    for r in 0..reps.max(1) {
+        let outcome = run_once(app, p, bg_jobs, seed + 1000 * r as u64);
+        slowdown += outcome.mean_slowdown();
+        idle += outcome.contended.reserved_idle_slot_secs;
+    }
+    let n = reps.max(1) as f64;
+    (slowdown / n, idle / n)
+}
+
+fn run_once(app: &JobSpec, p: Option<f64>, bg_jobs: u32, seed: u64) -> ExperimentOutcome {
+    let policy = match p {
+        Some(p) => PolicyConfig::ssr_with_isolation(p),
+        None => PolicyConfig::WorkConserving,
+    };
+    Experiment::new(
+        cluster_sim(ec2_cluster(), seed).stop_after([app.name()]),
+        policy,
+        OrderConfig::FifoPriority,
+    )
+    .foreground([app.clone()])
+    .background(background_jobs(bg_jobs, 1.0, seed))
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn p_one_is_the_idle_baseline() {
+        let out = super::run_scaled(10, 1, 5);
+        // For every app, the P=1.0 row has 0.0% improvement by definition.
+        for section in out.split("\n\n").filter(|s| s.contains("1.0  ")) {
+            let row = section.lines().find(|l| l.starts_with("1.0")).unwrap();
+            assert!(row.trim_end().ends_with("0.0%"), "baseline row: {row}");
+        }
+        // Lower P should never increase reserved-idle time above baseline.
+        for section in out.split('\n').filter(|l| l.starts_with("0.2")) {
+            let improvement: f64 = section
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
+            assert!(improvement >= -5.0, "P=0.2 improvement {improvement}% strongly negative");
+        }
+    }
+}

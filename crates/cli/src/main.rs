@@ -1,0 +1,197 @@
+//! `ssr-cli` — run speculative-slot-reservation experiments from the
+//! command line.
+//!
+//! ```text
+//! ssr-cli run --cluster 4x2 --policy ssr --isolation 0.9 \
+//!     --fg kmeans:par=8,prio=10 --bg google:jobs=100 --seed 42
+//! ssr-cli run --policy work-conserving --fg pipeline:phases=3,par=8,prio=10 \
+//!     --bg maponly:tasks=64,secs=60 --json
+//! ssr-cli tradeoff --alpha 1.6 --n 20
+//! ssr-cli deadline --p 0.9 --tm 2 --alpha 1.6 --n 20
+//! ```
+
+mod opts;
+mod spec;
+
+use std::process::ExitCode;
+
+use ssr_sim::{Experiment, SimConfig, Simulation};
+
+use crate::opts::RunOptions;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "tradeoff" => cmd_tradeoff(rest),
+        "deadline" => cmd_deadline(rest),
+        "--help" | "-h" | "help" => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "ssr-cli — speculative slot reservation experiments\n\
+         \n\
+         commands:\n\
+         \x20 run       simulate a workload mix (see flags below)\n\
+         \x20 tradeoff  print the Eq. 4 isolation/utilization curve\n\
+         \x20 deadline  print the Eq. 2 reservation deadline for a target P\n\
+         \n\
+         run flags:\n\
+         \x20 --cluster NxS        nodes x slots-per-node (default 4x2)\n\
+         \x20 --racks K            nodes per rack (default: single rack)\n\
+         \x20 --sizing s,l,e       every e-th slot has size l, others s\n\
+         \x20 --policy P           work-conserving | ssr | timeout:SECS | static:COUNT,PRIO\n\
+         \x20 --isolation P        SSR isolation target (default 1.0)\n\
+         \x20 --prereserve R       SSR pre-reservation threshold (default 0.5)\n\
+         \x20 --stragglers         SSR: run copies on reserved slots (IV-C)\n\
+         \x20 --speculation        status-quo progress-based speculation\n\
+         \x20 --order O            fifo-priority | fair | fifo\n\
+         \x20 --locality-wait S    delay-scheduling wait seconds (default 3)\n\
+         \x20 --any-slowdown F     ANY-level task slowdown factor (default 5)\n\
+         \x20 --fg SPEC            foreground workload (repeatable, measured)\n\
+         \x20 --bg SPEC            background workload (repeatable)\n\
+         \x20 --seed N             RNG seed (default 0)\n\
+         \x20 --json               emit the report as JSON\n\
+         \n\
+         SPEC: kmeans|svm|pagerank[:par=8,iters=4,prio=10,...]\n\
+         \x20     sql[:q=3|all,par=32,prio=10] | pipeline[:phases=3,par=8,alpha=1.6]\n\
+         \x20     maponly[:tasks=64,secs=30] | google[:jobs=100,factor=1,seed=7]"
+    );
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let options = RunOptions::parse(args).map_err(|e| e.to_string())?;
+    let mut foreground = Vec::new();
+    for s in &options.foreground {
+        foreground.extend(spec::parse(s).map_err(|e| e.to_string())?);
+    }
+    let mut background = Vec::new();
+    for s in &options.background {
+        background.extend(spec::parse(s).map_err(|e| e.to_string())?);
+    }
+    if foreground.is_empty() && background.is_empty() {
+        return Err("nothing to run: give at least one --fg or --bg".to_owned());
+    }
+
+    let mut sim_config = SimConfig::new(options.cluster)
+        .with_locality(options.locality.clone())
+        .with_seed(options.seed);
+    if let Some(s) = options.speculation {
+        sim_config = sim_config.with_speculation(s);
+    }
+
+    if foreground.is_empty() {
+        // No measured jobs: run the mix once and print the report.
+        let report = Simulation::new(
+            sim_config,
+            options.policy.clone(),
+            options.order,
+            background,
+        )
+        .run();
+        print_report_summary(&report, options.json)?;
+        return Ok(());
+    }
+
+    let outcome = Experiment::new(sim_config, options.policy.clone(), options.order)
+        .foreground(foreground)
+        .background(background)
+        .run();
+    if options.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("policy: {}   order: {:?}   seed: {}", outcome.policy, options.order, options.seed);
+    println!("{:<24} {:>12} {:>14} {:>10}", "foreground job", "alone (s)", "contended (s)", "slowdown");
+    for row in &outcome.foreground {
+        println!(
+            "{:<24} {:>12.2} {:>14.2} {:>9.2}x",
+            row.name, row.alone_jct_secs, row.contended_jct_secs, row.slowdown
+        );
+    }
+    println!(
+        "\nmean slowdown {:.3}x   utilization {:.1}%   reserved-idle {:.0} slot-s   \
+         copies {}   kills {}",
+        outcome.mean_slowdown(),
+        outcome.contended.utilization() * 100.0,
+        outcome.contended.reserved_idle_slot_secs,
+        outcome.contended.speculative_copies,
+        outcome.contended.kills,
+    );
+    Ok(())
+}
+
+fn print_report_summary(report: &ssr_sim::SimReport, json: bool) -> Result<(), String> {
+    if json {
+        println!("{}", serde_json::to_string_pretty(report).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    println!(
+        "{} jobs, completed: {}, makespan {:.1}s, utilization {:.1}%",
+        report.jobs.len(),
+        report.completed,
+        report.makespan_secs,
+        report.utilization() * 100.0
+    );
+    Ok(())
+}
+
+fn take_flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            let v = it.next().ok_or_else(|| format!("{name} requires a value"))?;
+            return v.parse().map(Some).map_err(|_| format!("bad value for {name}: {v}"));
+        }
+    }
+    Ok(None)
+}
+
+fn cmd_tradeoff(args: &[String]) -> Result<(), String> {
+    let alpha = take_flag(args, "--alpha")?.unwrap_or(1.6);
+    let n = take_flag(args, "--n")?.unwrap_or(20.0) as u32;
+    let points = take_flag(args, "--points")?.unwrap_or(11.0) as usize;
+    let curve = ssr_analytics::tradeoff::tradeoff_curve(alpha, n, points)
+        .map_err(|e| e.to_string())?;
+    println!("P        E[U] lower bound   (alpha={alpha}, N={n})");
+    for p in curve {
+        println!("{:<8.3} {:.4}", p.isolation, p.utilization);
+    }
+    Ok(())
+}
+
+fn cmd_deadline(args: &[String]) -> Result<(), String> {
+    let p = take_flag(args, "--p")?.ok_or("--p required")?;
+    let tm = take_flag(args, "--tm")?.ok_or("--tm required")?;
+    let alpha = take_flag(args, "--alpha")?.unwrap_or(1.6);
+    let n = take_flag(args, "--n")?.ok_or("--n required")? as u32;
+    let d = ssr_analytics::tradeoff::deadline_for_isolation(p, tm, alpha, n)
+        .map_err(|e| e.to_string())?;
+    let u = ssr_analytics::tradeoff::utilization_bound_for_isolation(p, alpha, n)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "isolation P={p}: reserve each slot for D = {d:.3}s after phase start \
+         (t_m={tm}, alpha={alpha}, N={n}); utilization lower bound {u:.3}"
+    );
+    Ok(())
+}

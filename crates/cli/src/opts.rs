@@ -1,0 +1,299 @@
+//! Command-line option parsing for `ssr-cli run` (dependency-free).
+
+use std::fmt;
+
+use ssr_cluster::{ClusterSpec, LocalityModel};
+use ssr_dag::Priority;
+use ssr_scheduler::SpeculationConfig;
+use ssr_sim::{OrderConfig, PolicyConfig};
+use ssr_simcore::SimDuration;
+
+/// Error produced when command-line options cannot be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptError(pub String);
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid option: {}", self.0)
+    }
+}
+
+impl std::error::Error for OptError {}
+
+fn err(msg: impl Into<String>) -> OptError {
+    OptError(msg.into())
+}
+
+/// Parsed options of the `run` subcommand.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// The cluster topology.
+    pub cluster: ClusterSpec,
+    /// Locality model (wait + ANY slowdown).
+    pub locality: LocalityModel,
+    /// Reservation policy.
+    pub policy: PolicyConfig,
+    /// Job order.
+    pub order: OrderConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Foreground workload specs (measured; get run-alone baselines).
+    pub foreground: Vec<String>,
+    /// Background workload specs (load only).
+    pub background: Vec<String>,
+    /// Enable status-quo progress-based speculation.
+    pub speculation: Option<SpeculationConfig>,
+    /// Emit the full report as JSON instead of tables.
+    pub json: bool,
+}
+
+impl RunOptions {
+    /// Parses the arguments following `run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError`] on unknown flags, missing values or malformed
+    /// parameters.
+    pub fn parse(args: &[String]) -> Result<RunOptions, OptError> {
+        let mut cluster_str = "4x2".to_owned();
+        let mut sizing: Option<(u32, u32, u32)> = None;
+        let mut racks: Option<u32> = None;
+        let mut wait = 3.0f64;
+        let mut any_slowdown = 5.0f64;
+        let mut policy_str = "ssr".to_owned();
+        let mut isolation = 1.0f64;
+        let mut prereserve = 0.5f64;
+        let mut stragglers = false;
+        let mut order = OrderConfig::FifoPriority;
+        let mut seed = 0u64;
+        let mut foreground = Vec::new();
+        let mut background = Vec::new();
+        let mut speculation = None;
+        let mut json = false;
+
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<String, OptError> {
+                it.next().cloned().ok_or_else(|| err(format!("{name} requires a value")))
+            };
+            match arg.as_str() {
+                "--cluster" => cluster_str = value("--cluster")?,
+                "--racks" => {
+                    racks =
+                        Some(value("--racks")?.parse().map_err(|_| err("--racks wants a number"))?)
+                }
+                "--sizing" => {
+                    let v = value("--sizing")?;
+                    let parts: Vec<u32> = v
+                        .split(',')
+                        .map(|p| p.parse().map_err(|_| err(format!("bad --sizing: {v}"))))
+                        .collect::<Result<_, _>>()?;
+                    if parts.len() != 3 {
+                        return Err(err("--sizing wants small,large,every"));
+                    }
+                    sizing = Some((parts[0], parts[1], parts[2]));
+                }
+                "--locality-wait" => {
+                    wait = value("--locality-wait")?
+                        .parse()
+                        .map_err(|_| err("--locality-wait wants seconds"))?
+                }
+                "--any-slowdown" => {
+                    any_slowdown = value("--any-slowdown")?
+                        .parse()
+                        .map_err(|_| err("--any-slowdown wants a factor"))?
+                }
+                "--policy" => policy_str = value("--policy")?,
+                "--isolation" => {
+                    isolation = value("--isolation")?
+                        .parse()
+                        .map_err(|_| err("--isolation wants a probability"))?
+                }
+                "--prereserve" => {
+                    prereserve = value("--prereserve")?
+                        .parse()
+                        .map_err(|_| err("--prereserve wants a fraction"))?
+                }
+                "--stragglers" => stragglers = true,
+                "--order" => {
+                    order = match value("--order")?.as_str() {
+                        "fifo-priority" => OrderConfig::FifoPriority,
+                        "fair" => OrderConfig::Fair,
+                        "fifo" => OrderConfig::Fifo,
+                        other => return Err(err(format!("unknown --order {other}"))),
+                    }
+                }
+                "--seed" => {
+                    seed = value("--seed")?.parse().map_err(|_| err("--seed wants a number"))?
+                }
+                "--fg" => foreground.push(value("--fg")?),
+                "--bg" => background.push(value("--bg")?),
+                "--speculation" => speculation = Some(SpeculationConfig::spark_defaults()),
+                "--json" => json = true,
+                other => return Err(err(format!("unknown flag {other}"))),
+            }
+        }
+
+        let (nodes, slots) = cluster_str
+            .split_once('x')
+            .ok_or_else(|| err(format!("--cluster wants NxS, got {cluster_str}")))?;
+        let nodes: u32 = nodes.parse().map_err(|_| err("bad node count"))?;
+        let slots: u32 = slots.parse().map_err(|_| err("bad slots-per-node"))?;
+        let mut cluster = match racks {
+            Some(r) => ClusterSpec::with_racks(nodes, slots, r),
+            None => ClusterSpec::new(nodes, slots),
+        }
+        .map_err(|e| err(format!("bad cluster: {e}")))?;
+        if let Some((small, large, every)) = sizing {
+            if !(small >= 1 && large >= small && every >= 1) {
+                return Err(err("--sizing wants 1 <= small <= large and every >= 1"));
+            }
+            cluster = cluster.with_slot_sizing(small, large, every);
+        }
+
+        let locality = LocalityModel::paper_simulation()
+            .with_wait(SimDuration::from_secs_f64(wait))
+            .with_any_slowdown(any_slowdown);
+
+        let policy = match policy_str.as_str() {
+            "work-conserving" | "wc" => PolicyConfig::WorkConserving,
+            "ssr" => {
+                let config = ssr_core::SsrConfig::builder()
+                    .isolation_target(isolation)
+                    .prereserve_threshold(prereserve)
+                    .mitigate_stragglers(stragglers)
+                    .build()
+                    .map_err(|e| err(format!("bad SSR parameters: {e}")))?;
+                PolicyConfig::Ssr(config)
+            }
+            s if s.starts_with("timeout:") => {
+                let secs: f64 = s["timeout:".len()..]
+                    .parse()
+                    .map_err(|_| err("timeout:SECS wants seconds"))?;
+                PolicyConfig::Timeout(SimDuration::from_secs_f64(secs))
+            }
+            s if s.starts_with("static:") => {
+                let rest = &s["static:".len()..];
+                let (count, class) = rest
+                    .split_once(',')
+                    .ok_or_else(|| err("static:COUNT,PRIO wanted"))?;
+                PolicyConfig::Static {
+                    count: count.parse().map_err(|_| err("bad static count"))?,
+                    class: Priority::new(class.parse().map_err(|_| err("bad static prio"))?),
+                }
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown --policy {other}; known: work-conserving ssr timeout:SECS static:COUNT,PRIO"
+                )))
+            }
+        };
+
+        Ok(RunOptions {
+            cluster,
+            locality,
+            policy,
+            order,
+            seed,
+            foreground,
+            background,
+            speculation,
+            json,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunOptions, OptError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        RunOptions::parse(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.cluster.total_slots(), 8);
+        assert_eq!(o.policy, PolicyConfig::ssr_strict());
+        assert_eq!(o.order, OrderConfig::FifoPriority);
+        assert_eq!(o.seed, 0);
+        assert!(!o.json);
+        assert!(o.speculation.is_none());
+    }
+
+    #[test]
+    fn cluster_and_sizing() {
+        let o = parse(&["--cluster", "10x4", "--racks", "5", "--sizing", "1,4,4"]).unwrap();
+        assert_eq!(o.cluster.total_slots(), 40);
+        assert_eq!(o.cluster.racks(), 2);
+        assert_eq!(o.cluster.max_slot_size(), 4);
+        assert!(parse(&["--cluster", "bad"]).is_err());
+        assert!(parse(&["--sizing", "4,1,1"]).is_err());
+        assert!(parse(&["--sizing", "1,2"]).is_err());
+    }
+
+    #[test]
+    fn policies() {
+        assert_eq!(parse(&["--policy", "wc"]).unwrap().policy, PolicyConfig::WorkConserving);
+        let t = parse(&["--policy", "timeout:30"]).unwrap().policy;
+        assert_eq!(t, PolicyConfig::Timeout(SimDuration::from_secs(30)));
+        let s = parse(&["--policy", "static:8,10"]).unwrap().policy;
+        assert_eq!(s, PolicyConfig::Static { count: 8, class: Priority::new(10) });
+        let ssr = parse(&["--policy", "ssr", "--isolation", "0.4", "--stragglers"])
+            .unwrap()
+            .policy;
+        match ssr {
+            PolicyConfig::Ssr(c) => {
+                assert_eq!(c.isolation_target(), 0.4);
+                assert!(c.mitigate_stragglers());
+            }
+            other => panic!("expected ssr, got {other:?}"),
+        }
+        assert!(parse(&["--policy", "nope"]).is_err());
+        assert!(parse(&["--isolation", "7"]).is_err());
+    }
+
+    #[test]
+    fn workloads_and_flags() {
+        let o = parse(&[
+            "--fg",
+            "kmeans:par=8",
+            "--fg",
+            "svm",
+            "--bg",
+            "google:jobs=10",
+            "--order",
+            "fair",
+            "--seed",
+            "42",
+            "--json",
+            "--speculation",
+        ])
+        .unwrap();
+        assert_eq!(o.foreground.len(), 2);
+        assert_eq!(o.background.len(), 1);
+        assert_eq!(o.order, OrderConfig::Fair);
+        assert_eq!(o.seed, 42);
+        assert!(o.json);
+        assert!(o.speculation.is_some());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let e = parse(&["--bogus"]).unwrap_err();
+        assert!(e.0.contains("unknown flag"));
+        assert!(parse(&["--seed"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn locality_flags() {
+        let o = parse(&["--locality-wait", "0", "--any-slowdown", "10"]).unwrap();
+        assert_eq!(o.locality.wait(), SimDuration::ZERO);
+        assert_eq!(
+            o.locality.mean_slowdown(ssr_cluster::LocalityLevel::Any),
+            Some(10.0)
+        );
+    }
+}

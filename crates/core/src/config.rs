@@ -1,0 +1,236 @@
+//! Configuration of the speculative-slot-reservation policy.
+
+use std::fmt;
+
+/// Error produced when an [`SsrConfig`] is built with out-of-domain
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    what: String,
+}
+
+impl ConfigError {
+    fn new(what: impl Into<String>) -> Self {
+        ConfigError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SSR configuration: {}", self.what)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validated configuration of [`SpeculativeReservation`].
+///
+/// [`SpeculativeReservation`]: crate::SpeculativeReservation
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsrConfig {
+    isolation_target: f64,
+    prereserve_threshold: f64,
+    default_shape: f64,
+    min_fit_samples: usize,
+    mitigate_stragglers: bool,
+    min_priority: Option<i32>,
+}
+
+impl SsrConfig {
+    /// The isolation guarantee `P` (§IV-B): the probability that a phase
+    /// transition is not interrupted. `1.0` means reservations never
+    /// expire (strict isolation); smaller values trade isolation for
+    /// utilization via the Eq. 2 deadline.
+    pub fn isolation_target(&self) -> f64 {
+        self.isolation_target
+    }
+
+    /// The pre-reservation threshold `R` (Algorithm 1, line 16): the
+    /// completed-task fraction of the current phase beyond which extra
+    /// slots are pre-reserved for a wider downstream phase.
+    pub fn prereserve_threshold(&self) -> f64 {
+        self.prereserve_threshold
+    }
+
+    /// The Pareto shape `alpha` assumed before enough in-phase samples
+    /// exist to fit it (production default from the traces the paper
+    /// cites: 1.6).
+    pub fn default_shape(&self) -> f64 {
+        self.default_shape
+    }
+
+    /// Completed tasks required in a phase before the fitted shape
+    /// replaces [`SsrConfig::default_shape`].
+    pub fn min_fit_samples(&self) -> usize {
+        self.min_fit_samples
+    }
+
+    /// Whether reserved-idle slots run straggler copies (§IV-C).
+    pub fn mitigate_stragglers(&self) -> bool {
+        self.mitigate_stragglers
+    }
+
+    /// If set, only jobs at or above this priority level receive
+    /// reservations — the paper's deployment model, where isolation is a
+    /// service latency-sensitive (foreground) jobs opt into, while batch
+    /// jobs stay plainly work-conserving.
+    pub fn min_priority(&self) -> Option<i32> {
+        self.min_priority
+    }
+
+    /// Starts building a configuration (all fields default to the paper's
+    /// settings: `P = 1.0`, `R = 0.5`, `alpha = 1.6`, no straggler
+    /// mitigation).
+    pub fn builder() -> SsrBuilder {
+        SsrBuilder::default()
+    }
+}
+
+impl Default for SsrConfig {
+    fn default() -> Self {
+        SsrConfig {
+            isolation_target: 1.0,
+            prereserve_threshold: 0.5,
+            default_shape: 1.6,
+            min_fit_samples: 3,
+            mitigate_stragglers: false,
+            min_priority: None,
+        }
+    }
+}
+
+/// Builder for [`SsrConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct SsrBuilder {
+    config: SsrConfig,
+}
+
+impl SsrBuilder {
+    /// Sets the isolation target `P` in `[0, 1]`.
+    pub fn isolation_target(mut self, p: f64) -> Self {
+        self.config.isolation_target = p;
+        self
+    }
+
+    /// Sets the pre-reservation threshold `R` in `[0, 1]`.
+    pub fn prereserve_threshold(mut self, r: f64) -> Self {
+        self.config.prereserve_threshold = r;
+        self
+    }
+
+    /// Sets the fallback Pareto shape (must exceed 1).
+    pub fn default_shape(mut self, alpha: f64) -> Self {
+        self.config.default_shape = alpha;
+        self
+    }
+
+    /// Sets the sample count needed before the online shape fit is used.
+    pub fn min_fit_samples(mut self, n: usize) -> Self {
+        self.config.min_fit_samples = n;
+        self
+    }
+
+    /// Enables or disables §IV-C straggler mitigation.
+    pub fn mitigate_stragglers(mut self, enabled: bool) -> Self {
+        self.config.mitigate_stragglers = enabled;
+        self
+    }
+
+    /// Restricts reservations to jobs at or above `level` (foreground
+    /// opt-in); lower-priority jobs run work-conserving.
+    pub fn reserve_only_at_or_above(mut self, level: i32) -> Self {
+        self.config.min_priority = Some(level);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `P` or `R` lie outside `[0, 1]`, the
+    /// default shape is not greater than 1, or `min_fit_samples` is zero.
+    pub fn build(self) -> Result<SsrConfig, ConfigError> {
+        let c = self.config;
+        if !(c.isolation_target.is_finite() && (0.0..=1.0).contains(&c.isolation_target)) {
+            return Err(ConfigError::new(format!(
+                "isolation target must lie in [0, 1], got {}",
+                c.isolation_target
+            )));
+        }
+        if !(c.prereserve_threshold.is_finite() && (0.0..=1.0).contains(&c.prereserve_threshold)) {
+            return Err(ConfigError::new(format!(
+                "pre-reservation threshold must lie in [0, 1], got {}",
+                c.prereserve_threshold
+            )));
+        }
+        if !(c.default_shape.is_finite() && c.default_shape > 1.0) {
+            return Err(ConfigError::new(format!(
+                "default shape must exceed 1 for a finite mean, got {}",
+                c.default_shape
+            )));
+        }
+        if c.min_fit_samples == 0 {
+            return Err(ConfigError::new("min_fit_samples must be at least 1"));
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SsrConfig::default();
+        assert_eq!(c.isolation_target(), 1.0);
+        assert_eq!(c.prereserve_threshold(), 0.5);
+        assert_eq!(c.default_shape(), 1.6);
+        assert!(!c.mitigate_stragglers());
+        assert_eq!(c.min_fit_samples(), 3);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let c = SsrConfig::builder()
+            .isolation_target(0.4)
+            .prereserve_threshold(0.2)
+            .default_shape(2.0)
+            .min_fit_samples(5)
+            .mitigate_stragglers(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.isolation_target(), 0.4);
+        assert_eq!(c.prereserve_threshold(), 0.2);
+        assert_eq!(c.default_shape(), 2.0);
+        assert_eq!(c.min_fit_samples(), 5);
+        assert!(c.mitigate_stragglers());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SsrConfig::builder().isolation_target(1.5).build().is_err());
+        assert!(SsrConfig::builder().isolation_target(-0.1).build().is_err());
+        assert!(SsrConfig::builder().isolation_target(f64::NAN).build().is_err());
+        assert!(SsrConfig::builder().prereserve_threshold(2.0).build().is_err());
+        assert!(SsrConfig::builder().default_shape(1.0).build().is_err());
+        assert!(SsrConfig::builder().min_fit_samples(0).build().is_err());
+        let err = SsrConfig::builder().isolation_target(9.0).build().unwrap_err();
+        assert!(format!("{err}").contains("isolation target"));
+    }
+
+    #[test]
+    fn min_priority_opt_in() {
+        assert_eq!(SsrConfig::default().min_priority(), None);
+        let c = SsrConfig::builder().reserve_only_at_or_above(10).build().unwrap();
+        assert_eq!(c.min_priority(), Some(10));
+    }
+
+    #[test]
+    fn boundary_values_accepted() {
+        assert!(SsrConfig::builder().isolation_target(0.0).build().is_ok());
+        assert!(SsrConfig::builder().isolation_target(1.0).build().is_ok());
+        assert!(SsrConfig::builder().prereserve_threshold(0.0).build().is_ok());
+        assert!(SsrConfig::builder().prereserve_threshold(1.0).build().is_ok());
+    }
+}

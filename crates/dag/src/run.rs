@@ -1,0 +1,345 @@
+//! Runtime execution tracking for one job: barrier clearing and the ready
+//! frontier.
+
+use std::fmt;
+
+use crate::ids::{JobId, StageId};
+use crate::spec::JobSpec;
+
+/// Lifecycle of one phase inside a running job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageState {
+    /// At least one upstream phase has not completed — the barrier holds.
+    Blocked,
+    /// All upstream phases completed; tasks may be submitted.
+    Ready,
+    /// Every task of the phase has completed.
+    Completed,
+}
+
+impl fmt::Display for StageState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StageState::Blocked => "blocked",
+            StageState::Ready => "ready",
+            StageState::Completed => "completed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tracks the execution of one job's DAG: which phases are blocked behind a
+/// barrier, which are ready, and how many tasks of each have completed.
+///
+/// This is the structure the paper's `DAGScheduler` maintains; the
+/// scheduler submits a phase's task set exactly when the phase becomes
+/// [`StageState::Ready`] (in Spark, downstream tasks are not submitted
+/// before the barrier has cleared — §II-A).
+///
+/// # Example
+///
+/// ```
+/// use ssr_dag::{JobId, JobRun, JobSpecBuilder, StageId, StageState};
+/// use ssr_simcore::dist::constant;
+///
+/// let spec = JobSpecBuilder::new("two-phase")
+///     .stage("map", 2, constant(1.0))
+///     .stage("reduce", 2, constant(1.0))
+///     .chain()
+///     .build()?;
+/// let mut run = JobRun::new(JobId::new(1), spec);
+///
+/// let map = StageId::new(0);
+/// let reduce = StageId::new(1);
+/// assert_eq!(run.state(reduce), StageState::Blocked);
+///
+/// assert!(run.on_task_completed(map).is_empty()); // barrier still holds
+/// let ready = run.on_task_completed(map);          // second of two tasks
+/// assert_eq!(ready, vec![reduce]);                 // barrier cleared
+/// # Ok::<(), ssr_dag::DagError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobRun {
+    id: JobId,
+    spec: JobSpec,
+    state: Vec<StageState>,
+    completed: Vec<u32>,
+}
+
+impl JobRun {
+    /// Starts tracking a job; root phases are immediately ready.
+    pub fn new(id: JobId, spec: JobSpec) -> Self {
+        let n = spec.stages().len();
+        let mut state = vec![StageState::Blocked; n];
+        for s in spec.roots() {
+            state[s.index()] = StageState::Ready;
+        }
+        JobRun { id, spec, state, completed: vec![0; n] }
+    }
+
+    /// The job id this run tracks.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Current lifecycle state of `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range for this job.
+    pub fn state(&self, stage: StageId) -> StageState {
+        self.state[stage.index()]
+    }
+
+    /// Number of completed tasks in `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range for this job.
+    pub fn completed_tasks(&self, stage: StageId) -> u32 {
+        self.completed[stage.index()]
+    }
+
+    /// Tasks of `stage` that have not yet completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range for this job.
+    pub fn remaining_tasks(&self, stage: StageId) -> u32 {
+        self.spec.stage(stage).parallelism() - self.completed[stage.index()]
+    }
+
+    /// Fraction of `stage`'s tasks that have completed, in `[0, 1]` — the
+    /// quantity compared against the pre-reservation threshold `R` in
+    /// Algorithm 1 (line 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range for this job.
+    pub fn finished_fraction(&self, stage: StageId) -> f64 {
+        self.completed[stage.index()] as f64 / self.spec.stage(stage).parallelism() as f64
+    }
+
+    /// Records the completion of one task of `stage` and returns the phases
+    /// whose barriers cleared as a result (now [`StageState::Ready`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is not currently [`StageState::Ready`] (a task of
+    /// a blocked or completed phase cannot finish) or if more completions
+    /// are recorded than the phase has tasks.
+    pub fn on_task_completed(&mut self, stage: StageId) -> Vec<StageId> {
+        assert_eq!(
+            self.state[stage.index()],
+            StageState::Ready,
+            "task completion recorded for {stage} which is not running"
+        );
+        let parallelism = self.spec.stage(stage).parallelism();
+        assert!(
+            self.completed[stage.index()] < parallelism,
+            "{stage} already has all {parallelism} tasks completed"
+        );
+        self.completed[stage.index()] += 1;
+        if self.completed[stage.index()] < parallelism {
+            return Vec::new();
+        }
+        // Barrier source completed: unblock any child whose parents are all
+        // complete.
+        self.state[stage.index()] = StageState::Completed;
+        let mut newly_ready = Vec::new();
+        for &child in self.spec.children(stage) {
+            let all_parents_done = self
+                .spec
+                .parents(child)
+                .iter()
+                .all(|p| self.state[p.index()] == StageState::Completed);
+            if all_parents_done && self.state[child.index()] == StageState::Blocked {
+                self.state[child.index()] = StageState::Ready;
+                newly_ready.push(child);
+            }
+        }
+        newly_ready
+    }
+
+    /// `true` once every phase has completed.
+    pub fn is_complete(&self) -> bool {
+        self.state.iter().all(|&s| s == StageState::Completed)
+    }
+
+    /// All phases currently ready but not completed.
+    pub fn ready_stages(&self) -> Vec<StageId> {
+        self.spec
+            .iter_stage_ids()
+            .filter(|&s| self.state[s.index()] == StageState::Ready)
+            .collect()
+    }
+
+    /// Total tasks completed across all phases.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpecBuilder;
+    use ssr_simcore::dist::constant;
+
+    fn two_phase() -> JobRun {
+        let spec = JobSpecBuilder::new("t")
+            .stage("a", 3, constant(1.0))
+            .stage("b", 2, constant(1.0))
+            .chain()
+            .build()
+            .unwrap();
+        JobRun::new(JobId::new(1), spec)
+    }
+
+    #[test]
+    fn roots_start_ready() {
+        let run = two_phase();
+        assert_eq!(run.state(StageId::new(0)), StageState::Ready);
+        assert_eq!(run.state(StageId::new(1)), StageState::Blocked);
+        assert_eq!(run.ready_stages(), vec![StageId::new(0)]);
+    }
+
+    #[test]
+    fn barrier_clears_only_after_all_tasks() {
+        let mut run = two_phase();
+        let a = StageId::new(0);
+        assert!(run.on_task_completed(a).is_empty());
+        assert!(run.on_task_completed(a).is_empty());
+        assert_eq!(run.finished_fraction(a), 2.0 / 3.0);
+        let ready = run.on_task_completed(a);
+        assert_eq!(ready, vec![StageId::new(1)]);
+        assert_eq!(run.state(a), StageState::Completed);
+    }
+
+    #[test]
+    fn job_completes_after_final_stage() {
+        let mut run = two_phase();
+        let (a, b) = (StageId::new(0), StageId::new(1));
+        for _ in 0..3 {
+            run.on_task_completed(a);
+        }
+        assert!(!run.is_complete());
+        run.on_task_completed(b);
+        run.on_task_completed(b);
+        assert!(run.is_complete());
+        assert_eq!(run.total_completed(), 5);
+    }
+
+    #[test]
+    fn diamond_join_waits_for_both_parents() {
+        let spec = JobSpecBuilder::new("d")
+            .stage("a", 1, constant(1.0))
+            .stage("b", 1, constant(1.0))
+            .stage("join", 1, constant(1.0))
+            .edge(0, 2)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        let mut run = JobRun::new(JobId::new(2), spec);
+        assert!(run.on_task_completed(StageId::new(0)).is_empty());
+        assert_eq!(run.state(StageId::new(2)), StageState::Blocked);
+        let ready = run.on_task_completed(StageId::new(1));
+        assert_eq!(ready, vec![StageId::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn completion_on_blocked_stage_panics() {
+        let mut run = two_phase();
+        run.on_task_completed(StageId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn over_completion_panics() {
+        let spec = JobSpecBuilder::new("s")
+            .stage("only", 1, constant(1.0))
+            .build()
+            .unwrap();
+        let mut run = JobRun::new(JobId::new(3), spec);
+        run.on_task_completed(StageId::new(0));
+        // Stage is now Completed, so the state assertion fires first; build
+        // a fresh single-stage run where the count assertion is reachable is
+        // impossible by construction — the state machine protects it. This
+        // test documents the panic path via the state check instead.
+        run.on_task_completed(StageId::new(0));
+    }
+
+    #[test]
+    fn remaining_tasks_counts_down() {
+        let mut run = two_phase();
+        let a = StageId::new(0);
+        assert_eq!(run.remaining_tasks(a), 3);
+        run.on_task_completed(a);
+        assert_eq!(run.remaining_tasks(a), 2);
+        assert_eq!(run.completed_tasks(a), 1);
+    }
+
+    #[test]
+    fn multi_root_ready_from_start() {
+        let spec = JobSpecBuilder::new("m")
+            .stage("a", 1, constant(1.0))
+            .stage("b", 1, constant(1.0))
+            .build()
+            .unwrap();
+        let run = JobRun::new(JobId::new(4), spec);
+        assert_eq!(run.ready_stages().len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::spec::JobSpecBuilder;
+    use proptest::prelude::*;
+    use ssr_simcore::dist::constant;
+
+    proptest! {
+        /// Driving any forward-edge DAG to completion by repeatedly finishing
+        /// tasks of ready stages always terminates with every stage complete,
+        /// and a stage never becomes ready before all parents complete.
+        #[test]
+        fn any_dag_drains(
+            n in 1usize..8,
+            par in proptest::collection::vec(1u32..4, 8),
+            edges in proptest::collection::vec((0u32..8, 0u32..8), 0..20),
+        ) {
+            let mut b = JobSpecBuilder::new("drain");
+            for i in 0..n {
+                b = b.stage(format!("s{i}"), par[i], constant(1.0));
+            }
+            for (a, d) in edges {
+                let (a, d) = (a % n as u32, d % n as u32);
+                if a < d {
+                    b = b.edge(a, d);
+                }
+            }
+            let spec = b.build().unwrap();
+            let mut run = JobRun::new(JobId::new(9), spec.clone());
+            let mut safety = 0;
+            while !run.is_complete() {
+                safety += 1;
+                prop_assert!(safety < 10_000, "run did not drain");
+                let ready = run.ready_stages();
+                prop_assert!(!ready.is_empty(), "deadlock: nothing ready but incomplete");
+                let s = ready[0];
+                // Invariant: all parents of a ready stage are complete.
+                for &p in spec.parents(s) {
+                    prop_assert_eq!(run.state(p), StageState::Completed);
+                }
+                run.on_task_completed(s);
+            }
+            prop_assert_eq!(run.total_completed(), spec.total_tasks());
+        }
+    }
+}

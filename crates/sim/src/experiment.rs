@@ -1,0 +1,386 @@
+//! The contention-experiment harness: foreground jobs vs background
+//! workloads, run-alone baselines, and the paper's *slowdown* metric
+//! (§VI: measured JCT normalised by the minimum JCT when running alone).
+
+use serde::{Deserialize, Serialize};
+use ssr_cluster::ClusterSpec;
+use ssr_core::{SpeculativeReservation, SsrConfig};
+use ssr_dag::{JobSpec, Priority};
+use ssr_scheduler::{
+    Fair, Fifo, FifoPriority, JobOrder, ReservationPolicy, StaticReservation, TimeoutReservation,
+    WorkConserving,
+};
+use ssr_simcore::SimDuration;
+
+use crate::report::SimReport;
+use crate::simulation::{SimConfig, Simulation};
+
+/// A cloneable description of a reservation policy, so experiments can
+/// instantiate fresh policy state per run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyConfig {
+    /// The work-conserving status quo (no reservations).
+    WorkConserving,
+    /// Blind timeout-based reservation (§III-A.2).
+    Timeout(SimDuration),
+    /// A static pool of `count` slots for priorities ≥ `class` (§III-A.1).
+    Static {
+        /// Pool size in slots.
+        count: u32,
+        /// Priority class served by the pool.
+        class: Priority,
+    },
+    /// Speculative slot reservation (Algorithm 1 + §IV).
+    Ssr(SsrConfig),
+}
+
+impl PolicyConfig {
+    /// SSR with strict isolation (`P = 1`), the paper's default.
+    pub fn ssr_strict() -> Self {
+        PolicyConfig::Ssr(SsrConfig::default())
+    }
+
+    /// SSR with strict isolation and §IV-C straggler mitigation.
+    pub fn ssr_strict_with_stragglers() -> Self {
+        PolicyConfig::Ssr(
+            SsrConfig::builder()
+                .mitigate_stragglers(true)
+                .build()
+                .expect("valid static configuration"),
+        )
+    }
+
+    /// SSR reserving only for jobs at or above `level` — the paper's
+    /// deployment model (foreground opt-in; batch jobs stay
+    /// work-conserving).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the default configuration is always valid.
+    pub fn ssr_foreground_only(level: i32) -> Self {
+        PolicyConfig::Ssr(
+            SsrConfig::builder()
+                .reserve_only_at_or_above(level)
+                .build()
+                .expect("valid static configuration"),
+        )
+    }
+
+    /// SSR with isolation target `p` (the §IV-B knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn ssr_with_isolation(p: f64) -> Self {
+        PolicyConfig::Ssr(
+            SsrConfig::builder()
+                .isolation_target(p)
+                .build()
+                .expect("isolation target must lie in [0, 1]"),
+        )
+    }
+
+    /// SSR with pre-reservation threshold `r` (Fig. 16's sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside `[0, 1]`.
+    pub fn ssr_with_prereserve_threshold(r: f64) -> Self {
+        PolicyConfig::Ssr(
+            SsrConfig::builder()
+                .prereserve_threshold(r)
+                .build()
+                .expect("threshold must lie in [0, 1]"),
+        )
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn ReservationPolicy> {
+        match self {
+            PolicyConfig::WorkConserving => Box::new(WorkConserving),
+            PolicyConfig::Timeout(timeout) => Box::new(TimeoutReservation::new(*timeout)),
+            PolicyConfig::Static { count, class } => {
+                Box::new(StaticReservation::new(*count, *class))
+            }
+            PolicyConfig::Ssr(config) => Box::new(SpeculativeReservation::with_config(*config)),
+        }
+    }
+
+    /// A short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyConfig::WorkConserving => "work-conserving".to_owned(),
+            PolicyConfig::Timeout(t) => format!("timeout({t})"),
+            PolicyConfig::Static { count, .. } => format!("static({count})"),
+            PolicyConfig::Ssr(c) => format!(
+                "ssr(P={},R={}{})",
+                c.isolation_target(),
+                c.prereserve_threshold(),
+                if c.mitigate_stragglers() { ",strag" } else { "" }
+            ),
+        }
+    }
+}
+
+/// A cloneable description of the job-ordering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderConfig {
+    /// Strict priority with FIFO tie-break.
+    FifoPriority,
+    /// Dynamic-priority fair sharing.
+    Fair,
+    /// Pure FIFO.
+    Fifo,
+}
+
+impl OrderConfig {
+    /// Instantiates the order.
+    pub fn build(&self) -> Box<dyn JobOrder> {
+        match self {
+            OrderConfig::FifoPriority => Box::new(FifoPriority),
+            OrderConfig::Fair => Box::new(Fair),
+            OrderConfig::Fifo => Box::new(Fifo),
+        }
+    }
+}
+
+/// One foreground job's slowdown measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownRow {
+    /// The foreground job's name.
+    pub name: String,
+    /// JCT running alone in the cluster (seconds) — the denominator.
+    pub alone_jct_secs: f64,
+    /// JCT in contention (seconds).
+    pub contended_jct_secs: f64,
+    /// `contended / alone`, the paper's §VI metric.
+    pub slowdown: f64,
+}
+
+/// The outcome of one contention experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// Policy label.
+    pub policy: String,
+    /// Per-foreground-job slowdowns.
+    pub foreground: Vec<SlowdownRow>,
+    /// The full contended-run report.
+    pub contended: SimReport,
+}
+
+impl ExperimentOutcome {
+    /// Mean foreground slowdown.
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.foreground.is_empty() {
+            return 0.0;
+        }
+        self.foreground.iter().map(|r| r.slowdown).sum::<f64>() / self.foreground.len() as f64
+    }
+
+    /// The slowdown row for a named foreground job.
+    pub fn slowdown_of(&self, name: &str) -> Option<&SlowdownRow> {
+        self.foreground.iter().find(|r| r.name == name)
+    }
+}
+
+/// A contention experiment: foreground jobs (measured) run against
+/// background jobs (load), each foreground job also measured running
+/// alone to obtain the slowdown denominator.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    sim_config: SimConfig,
+    policy: PolicyConfig,
+    order: OrderConfig,
+    foreground: Vec<JobSpec>,
+    background: Vec<JobSpec>,
+}
+
+impl Experiment {
+    /// Creates an experiment on the given cluster configuration.
+    pub fn new(sim_config: SimConfig, policy: PolicyConfig, order: OrderConfig) -> Self {
+        Experiment {
+            sim_config,
+            policy,
+            order,
+            foreground: Vec::new(),
+            background: Vec::new(),
+        }
+    }
+
+    /// Adds measured foreground jobs.
+    pub fn foreground(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> Self {
+        self.foreground.extend(jobs);
+        self
+    }
+
+    /// Adds background load.
+    pub fn background(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> Self {
+        self.background.extend(jobs);
+        self
+    }
+
+    /// The configured cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        self.sim_config.cluster()
+    }
+
+    /// Runs one foreground job alone (work-conserving — reservations are
+    /// irrelevant without contention) and returns its JCT in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job does not finish within the horizon.
+    pub fn run_alone(&self, job: &JobSpec) -> f64 {
+        let report = Simulation::new(
+            self.sim_config.clone(),
+            PolicyConfig::WorkConserving,
+            self.order,
+            vec![job.clone()],
+        )
+        .run();
+        report
+            .jct_secs(job.name())
+            .unwrap_or_else(|| panic!("job {} did not finish alone", job.name()))
+    }
+
+    /// Runs the contended mix and returns the full report.
+    pub fn run_contended(&self) -> SimReport {
+        let mut jobs = self.foreground.clone();
+        jobs.extend(self.background.iter().cloned());
+        Simulation::new(self.sim_config.clone(), self.policy.clone(), self.order, jobs).run()
+    }
+
+    /// Runs the complete experiment: alone baselines + contended run +
+    /// slowdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a foreground job fails to finish in either setting.
+    pub fn run(&self) -> ExperimentOutcome {
+        let contended = self.run_contended();
+        let foreground = self
+            .foreground
+            .iter()
+            .map(|job| {
+                let alone = self.run_alone(job);
+                let in_contention = contended.jct_secs(job.name()).unwrap_or_else(|| {
+                    panic!("foreground job {} did not finish in contention", job.name())
+                });
+                SlowdownRow {
+                    name: job.name().to_owned(),
+                    alone_jct_secs: alone,
+                    contended_jct_secs: in_contention,
+                    slowdown: in_contention / alone,
+                }
+            })
+            .collect();
+        ExperimentOutcome { policy: self.policy.label(), foreground, contended }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_simcore::dist::constant;
+    use ssr_simcore::SimTime;
+    use ssr_workload::synthetic::{map_only, pipeline_of};
+    use ssr_simcore::dist::uniform;
+
+    fn sim_config() -> SimConfig {
+        SimConfig::new(ClusterSpec::new(1, 4).unwrap())
+            .with_locality(
+                ssr_cluster::LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+            )
+            .with_seed(3)
+    }
+
+    fn foreground() -> JobSpec {
+        // Bounded skew: every barrier opens a give-up window of a few
+        // seconds without letting a single straggler dominate the JCT.
+        pipeline_of(
+            "fg",
+            &[
+                (4, uniform(1.0, 4.0)),
+                (4, uniform(1.0, 4.0)),
+                (4, uniform(1.0, 4.0)),
+            ],
+            Priority::new(10),
+            SimTime::ZERO,
+        )
+        .unwrap()
+    }
+
+    fn background() -> JobSpec {
+        map_only("bg", 24, constant(30.0), Priority::new(0)).unwrap()
+    }
+
+    #[test]
+    fn slowdown_is_one_without_contention() {
+        let outcome = Experiment::new(sim_config(), PolicyConfig::WorkConserving, OrderConfig::FifoPriority)
+            .foreground([foreground()])
+            .run();
+        let row = outcome.slowdown_of("fg").unwrap();
+        assert!((row.slowdown - 1.0).abs() < 1e-9);
+        assert_eq!(outcome.mean_slowdown(), row.slowdown);
+    }
+
+    #[test]
+    fn ssr_beats_work_conserving_under_contention() {
+        let run = |policy: PolicyConfig| {
+            Experiment::new(sim_config(), policy, OrderConfig::FifoPriority)
+                .foreground([foreground()])
+                .background([background()])
+                .run()
+        };
+        let wc = run(PolicyConfig::WorkConserving);
+        let ssr = run(PolicyConfig::ssr_strict());
+        assert!(
+            wc.mean_slowdown() > 1.5,
+            "work conserving should suffer: {}",
+            wc.mean_slowdown()
+        );
+        assert!(
+            ssr.mean_slowdown() < 1.2,
+            "SSR should isolate: {}",
+            ssr.mean_slowdown()
+        );
+        assert!(ssr.mean_slowdown() < wc.mean_slowdown());
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(PolicyConfig::WorkConserving.label(), "work-conserving");
+        assert!(PolicyConfig::Timeout(SimDuration::from_secs(5)).label().contains("timeout"));
+        assert!(
+            PolicyConfig::Static { count: 3, class: Priority::new(1) }.label().contains("static(3)")
+        );
+        assert!(PolicyConfig::ssr_strict().label().contains("P=1"));
+        assert!(PolicyConfig::ssr_strict_with_stragglers().label().contains("strag"));
+        assert!(PolicyConfig::ssr_with_isolation(0.4).label().contains("P=0.4"));
+        assert!(PolicyConfig::ssr_with_prereserve_threshold(0.2).label().contains("R=0.2"));
+    }
+
+    #[test]
+    fn order_configs_build() {
+        assert_eq!(OrderConfig::FifoPriority.build().name(), "fifo-priority");
+        assert_eq!(OrderConfig::Fair.build().name(), "fair");
+        assert_eq!(OrderConfig::Fifo.build().name(), "fifo");
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn invalid_isolation_target_panics() {
+        let _ = PolicyConfig::ssr_with_isolation(3.0);
+    }
+
+    #[test]
+    fn experiment_reports_background_jobs_too() {
+        let outcome = Experiment::new(sim_config(), PolicyConfig::ssr_strict(), OrderConfig::FifoPriority)
+            .foreground([foreground()])
+            .background([background()])
+            .run();
+        assert!(outcome.contended.job("bg").is_some());
+        assert_eq!(outcome.foreground.len(), 1);
+        let _ = SimTime::ZERO;
+    }
+}

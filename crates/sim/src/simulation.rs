@@ -1,0 +1,735 @@
+//! The discrete-event simulation loop.
+
+use std::collections::BTreeMap;
+
+use ssr_cluster::{ClusterSpec, LocalityLevel, LocalityModel, SlotId};
+use ssr_dag::{JobId, JobSpec};
+use ssr_scheduler::TaskScheduler;
+use ssr_simcore::events::EventQueue;
+use ssr_simcore::rng::SimRng;
+use ssr_simcore::{SimDuration, SimTime};
+
+use crate::experiment::{OrderConfig, PolicyConfig};
+use crate::report::{Collector, JobResult, SimReport, TimeSample};
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    cluster: ClusterSpec,
+    locality: LocalityModel,
+    seed: u64,
+    horizon: SimTime,
+    track_jobs: Vec<String>,
+    speculation: Option<ssr_scheduler::SpeculationConfig>,
+    record_trace: bool,
+    stop_after: Vec<String>,
+}
+
+impl SimConfig {
+    /// Creates a configuration over `cluster` with the paper's simulation
+    /// locality model, seed 0 and a one-simulated-week safety horizon.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        SimConfig {
+            cluster,
+            locality: LocalityModel::paper_simulation(),
+            seed: 0,
+            horizon: SimTime::from_secs(7 * 24 * 3600),
+            track_jobs: Vec::new(),
+            speculation: None,
+            record_trace: false,
+            stop_after: Vec::new(),
+        }
+    }
+
+    /// Stops the run as soon as every job with one of the given names has
+    /// completed — a large speed-up for slowdown experiments where the
+    /// background's tail is irrelevant. The report then has
+    /// `completed = false` (the background was cut short).
+    pub fn stop_after<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.stop_after = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Records a per-instance execution trace
+    /// ([`SimReport::trace`](crate::SimReport)): placement, locality
+    /// level, finish/kill — the raw data behind Gantt charts.
+    pub fn record_trace(mut self, enabled: bool) -> Self {
+        self.record_trace = enabled;
+        self
+    }
+
+    /// Enables status-quo progress-based speculative execution in the
+    /// scheduler (the baseline the paper's §IV-C strategy is compared
+    /// against).
+    pub fn with_speculation(mut self, config: ssr_scheduler::SpeculationConfig) -> Self {
+        self.speculation = Some(config);
+        self
+    }
+
+    /// Sets the locality model.
+    pub fn with_locality(mut self, locality: LocalityModel) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    /// Sets the RNG seed (runs are bit-for-bit deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the safety horizon after which the run aborts (reported as
+    /// `completed = false`).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Enables the running-task time series for the named jobs (Figs. 5
+    /// and 13).
+    pub fn track_jobs<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.track_jobs = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The cluster topology.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    JobArrival(usize),
+    TaskFinish { slot: SlotId, token: u64 },
+    ReservationExpiry,
+    LocalityUnlock,
+}
+
+/// One end-to-end simulated run: jobs arrive, tasks execute with locality
+/// penalties, the scheduler's policy reserves or releases slots, and
+/// metrics are integrated exactly between events.
+#[derive(Debug)]
+pub struct Simulation {
+    sched: TaskScheduler,
+    events: EventQueue<Event>,
+    seed: u64,
+    now: SimTime,
+    jobs: Vec<JobSpec>,
+    submitted: BTreeMap<JobId, usize>,
+    slot_tokens: Vec<u64>,
+    collector: Collector,
+    tracked: Vec<(JobId, String)>,
+    track_names: Vec<String>,
+    scheduled_expiry: Option<SimTime>,
+    scheduled_unlock: Option<SimTime>,
+    horizon: SimTime,
+    last_integrated: SimTime,
+    record_trace: bool,
+    open_trace: Vec<Option<OpenTrace>>,
+    stop_names: Vec<String>,
+    stop_pending: usize,
+}
+
+#[derive(Debug, Clone)]
+struct OpenTrace {
+    job: String,
+    stage: u32,
+    partition: u32,
+    attempt: u32,
+    start: SimTime,
+    level: ssr_cluster::LocalityLevel,
+    speculative: bool,
+}
+
+impl Simulation {
+    /// Creates a run over `jobs` with the given policy and job order.
+    pub fn new(
+        config: SimConfig,
+        policy: PolicyConfig,
+        order: OrderConfig,
+        jobs: Vec<JobSpec>,
+    ) -> Self {
+        let mut sched = TaskScheduler::new(
+            config.cluster,
+            config.locality.clone(),
+            policy.build(),
+            order.build(),
+        );
+        if let Some(spec_cfg) = config.speculation {
+            sched = sched.with_speculation(spec_cfg);
+        }
+        let total_slots = config.cluster.total_slots() as usize;
+        let mut events = EventQueue::with_capacity(jobs.len() * 2 + 16);
+        for (i, job) in jobs.iter().enumerate() {
+            events.push(job.arrival(), Event::JobArrival(i));
+        }
+        let stop_pending = jobs
+            .iter()
+            .filter(|j| config.stop_after.iter().any(|n| n == j.name()))
+            .count();
+        Simulation {
+            sched,
+            events,
+            seed: config.seed,
+            now: SimTime::ZERO,
+            jobs,
+            submitted: BTreeMap::new(),
+            slot_tokens: vec![0; total_slots],
+            collector: Collector::new(),
+            tracked: Vec::new(),
+            track_names: config.track_jobs,
+            scheduled_expiry: None,
+            scheduled_unlock: None,
+            horizon: config.horizon,
+            last_integrated: SimTime::ZERO,
+            record_trace: config.record_trace,
+            open_trace: vec![None; total_slots],
+            stop_pending,
+            stop_names: config.stop_after,
+        }
+    }
+
+    /// Runs to completion (or the safety horizon) and returns the report.
+    pub fn run(mut self) -> SimReport {
+        while let Some((t, event)) = self.events.pop() {
+            if t > self.horizon {
+                break;
+            }
+            self.integrate_to(t);
+            self.now = t;
+            match event {
+                Event::JobArrival(index) => {
+                    let spec = self.jobs[index].clone();
+                    let id = self.sched.submit(spec, t);
+                    self.submitted.insert(id, index);
+                    if self.track_names.iter().any(|n| n == self.jobs[index].name()) {
+                        self.tracked.push((id, self.jobs[index].name().to_owned()));
+                    }
+                }
+                Event::TaskFinish { slot, token } => {
+                    if self.slot_tokens[slot.index()] != token {
+                        continue; // the instance on this slot was killed
+                    }
+                    let outcome = self.sched.task_finished(slot, t);
+                    self.slot_tokens[slot.index()] += 1;
+                    self.close_trace(slot, t, "finished");
+                    for killed in &outcome.killed {
+                        self.slot_tokens[killed.index()] += 1;
+                        self.collector.kills += 1;
+                        self.close_trace(*killed, t, "killed");
+                    }
+                    if outcome.job_completed {
+                        self.record_job_completion(outcome.instance.task.job, t);
+                    }
+                }
+                Event::ReservationExpiry => {
+                    self.scheduled_expiry = None;
+                    self.sched.expire_reservations(t);
+                }
+                Event::LocalityUnlock => {
+                    self.scheduled_unlock = None;
+                }
+            }
+            self.dispatch();
+            self.sample_timeseries();
+            if !self.stop_names.is_empty() && self.stop_pending == 0 {
+                break;
+            }
+            if !self.sched.has_unfinished_jobs() && self.submitted.len() == self.jobs.len() {
+                break;
+            }
+        }
+        self.finish_report()
+    }
+
+    /// Runs one resource-offer round and schedules the resulting finish,
+    /// expiry and unlock events.
+    fn dispatch(&mut self) {
+        let assignments = self.sched.resource_offers(self.now);
+        for a in &assignments {
+            let task = a.instance.task;
+            let spec = self
+                .sched
+                .jobs()
+                .get(task.job)
+                .expect("assigned job exists")
+                .spec()
+                .clone();
+            // Durations are a deterministic function of (job name, stage,
+            // partition, attempt): a job draws identical intrinsic
+            // durations whether it runs alone or in contention, so
+            // slowdown measurements carry no sampling noise.
+            let mut rng = self.task_rng(spec.name(), a.instance);
+            let intrinsic = spec.stage(task.stage).duration().sample(&mut rng).max(1e-6);
+            let factor = if a.speculative && a.warm {
+                // §IV-C: copies run on warm slots of the same phase.
+                1.0
+            } else {
+                self.sched.locality().sample_slowdown(a.level, &mut rng).max(0.0)
+            };
+            let duration = SimDuration::from_secs_f64(intrinsic * factor);
+            let token = self.slot_tokens[a.slot.index()];
+            self.events.push(self.now + duration, Event::TaskFinish { slot: a.slot, token });
+            self.collector.locality_counts[locality_index(a.level)] += 1;
+            if self.record_trace {
+                self.open_trace[a.slot.index()] = Some(OpenTrace {
+                    job: spec.name().to_owned(),
+                    stage: task.stage.as_u32(),
+                    partition: task.partition,
+                    attempt: a.instance.attempt,
+                    start: self.now,
+                    level: a.level,
+                    speculative: a.speculative,
+                });
+            }
+            if a.speculative {
+                self.collector.speculative_copies += 1;
+            }
+        }
+        // Reservation-expiry wakeup.
+        if let Some(expiry) = self.sched.next_reservation_expiry() {
+            let wake = expiry.max(self.now);
+            if self.scheduled_expiry.map_or(true, |s| wake < s) {
+                self.events.push(wake, Event::ReservationExpiry);
+                self.scheduled_expiry = Some(wake);
+            }
+        }
+        // Delay-scheduling wakeup.
+        if let Some(unlock) = self.sched.next_locality_unlock(self.now) {
+            let wake = unlock.max(self.now);
+            if self.scheduled_unlock.map_or(true, |s| wake < s) {
+                self.events.push(wake, Event::LocalityUnlock);
+                self.scheduled_unlock = Some(wake);
+            }
+        }
+    }
+
+    /// Derives the per-instance RNG: FNV-1a over the job name and task
+    /// coordinates, mixed with the run seed.
+    fn task_rng(&self, name: &str, instance: ssr_scheduler::TaskInstance) -> SimRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in name.bytes() {
+            mix(u64::from(b));
+        }
+        mix(u64::from(instance.task.stage.as_u32()));
+        mix(u64::from(instance.task.partition));
+        mix(u64::from(instance.attempt));
+        SimRng::seed_from_u64(h ^ self.seed)
+    }
+
+    /// Integrates slot-state occupancy exactly over `[last, t]` (states
+    /// are piecewise constant between events).
+    fn integrate_to(&mut self, t: SimTime) {
+        let dt = t.saturating_since(self.last_integrated).as_secs_f64();
+        if dt > 0.0 {
+            let (free, running, reserved) = self.sched.slot_table().counts();
+            self.collector.busy_slot_secs += running as f64 * dt;
+            self.collector.reserved_idle_slot_secs += reserved as f64 * dt;
+            self.collector.free_slot_secs += free as f64 * dt;
+        }
+        self.last_integrated = t;
+    }
+
+    fn sample_timeseries(&mut self) {
+        if self.tracked.is_empty() {
+            return;
+        }
+        let running: Vec<(String, usize)> = self
+            .tracked
+            .iter()
+            .map(|(id, name)| (name.clone(), self.sched.running_count_for(*id)))
+            .collect();
+        self.collector.timeseries.push(TimeSample {
+            time_secs: self.now.as_secs_f64(),
+            running,
+        });
+    }
+
+    fn close_trace(&mut self, slot: SlotId, end: SimTime, outcome: &str) {
+        if !self.record_trace {
+            return;
+        }
+        if let Some(open) = self.open_trace[slot.index()].take() {
+            self.collector.trace.push(crate::report::TaskTraceRecord {
+                job: open.job,
+                stage: open.stage,
+                partition: open.partition,
+                attempt: open.attempt,
+                slot: slot.as_u32(),
+                start_secs: open.start.as_secs_f64(),
+                end_secs: end.as_secs_f64(),
+                level: open.level.to_string(),
+                speculative: open.speculative,
+                outcome: outcome.to_owned(),
+            });
+        }
+    }
+
+    fn record_job_completion(&mut self, job: JobId, t: SimTime) {
+        let state = self.sched.jobs().get(job).expect("completed job exists");
+        if self.stop_names.iter().any(|n| n == state.spec().name()) {
+            self.stop_pending = self.stop_pending.saturating_sub(1);
+        }
+        let result = JobResult {
+            name: state.spec().name().to_owned(),
+            job_id: job.as_u64(),
+            priority: state.priority().level(),
+            arrival_secs: state.submitted_at().as_secs_f64(),
+            completed_secs: Some(t.as_secs_f64()),
+            jct: t.saturating_since(state.submitted_at()),
+        };
+        self.collector.results.push((job, result));
+        self.collector.makespan = self.collector.makespan.max(t);
+    }
+
+    fn finish_report(mut self) -> SimReport {
+        // Close the occupancy integral at the last event time.
+        let end = self.now;
+        self.integrate_to(end);
+        // Report unfinished jobs too.
+        let mut jobs: Vec<JobResult> =
+            self.collector.results.iter().map(|(_, r)| r.clone()).collect();
+        let mut all_done = self.submitted.len() == self.jobs.len();
+        for state in self.sched.jobs().iter() {
+            if state.is_complete() {
+                continue;
+            }
+            all_done = false;
+            jobs.push(JobResult {
+                name: state.spec().name().to_owned(),
+                job_id: state.id().as_u64(),
+                priority: state.priority().level(),
+                arrival_secs: state.submitted_at().as_secs_f64(),
+                completed_secs: None,
+                jct: SimDuration::ZERO,
+            });
+        }
+        jobs.sort_by_key(|j| j.job_id);
+        SimReport {
+            policy: self.sched.policy_name().to_owned(),
+            order: self.sched.order_name().to_owned(),
+            jobs,
+            completed: all_done,
+            makespan_secs: self.collector.makespan.as_secs_f64(),
+            busy_slot_secs: self.collector.busy_slot_secs,
+            reserved_idle_slot_secs: self.collector.reserved_idle_slot_secs,
+            free_slot_secs: self.collector.free_slot_secs,
+            speculative_copies: self.collector.speculative_copies,
+            kills: self.collector.kills,
+            locality_counts: self.collector.locality_counts,
+            timeseries: self.collector.timeseries,
+            trace: self.collector.trace,
+        }
+    }
+}
+
+fn locality_index(level: LocalityLevel) -> usize {
+    match level {
+        LocalityLevel::ProcessLocal => 0,
+        LocalityLevel::NodeLocal => 1,
+        LocalityLevel::RackLocal => 2,
+        LocalityLevel::Any => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_dag::Priority;
+    use ssr_simcore::dist::constant;
+    use ssr_workload::synthetic::{map_only, pareto_pipeline, pipeline_of};
+
+    fn config(nodes: u32, slots: u32) -> SimConfig {
+        SimConfig::new(ClusterSpec::new(nodes, slots).unwrap())
+            .with_locality(LocalityModel::paper_simulation().with_wait(SimDuration::ZERO))
+            .with_seed(1)
+    }
+
+    #[test]
+    fn single_job_completes_with_exact_jct() {
+        let job = map_only("m", 8, constant(2.0), Priority::default()).unwrap();
+        let report =
+            Simulation::new(config(2, 2), PolicyConfig::WorkConserving, OrderConfig::FifoPriority, vec![job])
+                .run();
+        assert!(report.completed);
+        assert_eq!(report.jct_secs("m"), Some(4.0)); // 8 tasks / 4 slots x 2 s
+        assert_eq!(report.makespan_secs, 4.0);
+        // Utilization: 8 tasks x 2 s busy over 4 slots x 4 s.
+        assert!((report.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_jct_accounts_for_barriers() {
+        let job = pipeline_of(
+            "p",
+            &[(4, constant(1.0)), (4, constant(2.0))],
+            Priority::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let report =
+            Simulation::new(config(2, 2), PolicyConfig::WorkConserving, OrderConfig::FifoPriority, vec![job])
+                .run();
+        assert_eq!(report.jct_secs("p"), Some(3.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let jobs = || {
+            vec![
+                pareto_pipeline("a", 3, 8, 1.0, 1.6, Priority::new(5)).unwrap(),
+                pareto_pipeline("b", 2, 8, 1.0, 1.6, Priority::new(0)).unwrap(),
+            ]
+        };
+        let r1 = Simulation::new(
+            config(2, 4).with_seed(42),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            jobs(),
+        )
+        .run();
+        let r2 = Simulation::new(
+            config(2, 4).with_seed(42),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            jobs(),
+        )
+        .run();
+        assert_eq!(r1.jct_secs("a"), r2.jct_secs("a"));
+        assert_eq!(r1.jct_secs("b"), r2.jct_secs("b"));
+        assert_eq!(r1.busy_slot_secs, r2.busy_slot_secs);
+        let r3 = Simulation::new(
+            config(2, 4).with_seed(43),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            jobs(),
+        )
+        .run();
+        assert_ne!(r1.jct_secs("a"), r3.jct_secs("a"));
+    }
+
+    #[test]
+    fn ssr_protects_foreground_from_background() {
+        // The paper's core claim, end to end: a 3-phase foreground job
+        // contends with long background tasks. Work conserving interleaves
+        // them; SSR keeps the foreground's slots across barriers.
+        let fg = || {
+            pipeline_of(
+                "fg",
+                &[(4, constant(2.0)), (4, constant(2.0)), (4, constant(2.0))],
+                Priority::new(10),
+                SimTime::ZERO,
+            )
+            .unwrap()
+        };
+        let bg = || map_only("bg", 32, constant(50.0), Priority::new(0)).unwrap();
+        // Phase durations are constant, so the only skew source is the
+        // per-task sampling... constant() has none: all tasks finish
+        // together and even work conserving loses nothing. Introduce skew
+        // via Pareto.
+        let fg_skewed = || pareto_pipeline("fg", 3, 4, 1.0, 1.3, Priority::new(10)).unwrap();
+        let run = |policy: PolicyConfig, jobs: Vec<JobSpec>| {
+            Simulation::new(config(1, 4), policy, OrderConfig::FifoPriority, jobs).run()
+        };
+        let _ = fg;
+        let wc = run(PolicyConfig::WorkConserving, vec![fg_skewed(), bg()]);
+        let ssr = run(PolicyConfig::ssr_strict(), vec![fg_skewed(), bg()]);
+        let alone = run(PolicyConfig::WorkConserving, vec![fg_skewed()]);
+        let jct_wc = wc.jct_secs("fg").unwrap();
+        let jct_ssr = ssr.jct_secs("fg").unwrap();
+        let jct_alone = alone.jct_secs("fg").unwrap();
+        // Under work conservation the foreground waits behind 50 s
+        // background tasks at each barrier.
+        assert!(
+            jct_wc > jct_alone * 1.5,
+            "work conserving should inflate JCT: {jct_wc} vs alone {jct_alone}"
+        );
+        // SSR keeps it within a whisker of running alone.
+        assert!(
+            jct_ssr < jct_alone * 1.2,
+            "SSR should isolate: {jct_ssr} vs alone {jct_alone}"
+        );
+    }
+
+    #[test]
+    fn background_still_completes_under_ssr() {
+        let fg = pareto_pipeline("fg", 3, 4, 1.0, 1.3, Priority::new(10)).unwrap();
+        let bg = map_only("bg", 16, constant(5.0), Priority::new(0)).unwrap();
+        let report = Simulation::new(
+            config(1, 4),
+            PolicyConfig::ssr_strict(),
+            OrderConfig::FifoPriority,
+            vec![fg, bg],
+        )
+        .run();
+        assert!(report.completed, "all jobs must finish");
+        assert!(report.jct_secs("bg").is_some());
+    }
+
+    #[test]
+    fn timeseries_tracks_requested_jobs() {
+        let fg = pareto_pipeline("fg", 2, 4, 1.0, 1.5, Priority::new(10)).unwrap();
+        let report = Simulation::new(
+            config(1, 4).track_jobs(["fg"]),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![fg],
+        )
+        .run();
+        assert!(!report.timeseries.is_empty());
+        let max_running = report
+            .timeseries
+            .iter()
+            .flat_map(|s| s.running.iter().map(|(_, c)| *c))
+            .max()
+            .unwrap();
+        assert_eq!(max_running, 4);
+    }
+
+    #[test]
+    fn straggler_mitigation_reduces_phase_tail() {
+        // Heavy-tailed single foreground job alone on the cluster: copies
+        // on reserved slots cut the tail (the §IV-C effect).
+        let job = || pareto_pipeline("fg", 4, 16, 1.0, 1.2, Priority::new(10)).unwrap();
+        let without = Simulation::new(
+            config(4, 4).with_seed(7),
+            PolicyConfig::ssr_strict(),
+            OrderConfig::FifoPriority,
+            vec![job()],
+        )
+        .run();
+        let with = Simulation::new(
+            config(4, 4).with_seed(7),
+            PolicyConfig::ssr_strict_with_stragglers(),
+            OrderConfig::FifoPriority,
+            vec![job()],
+        )
+        .run();
+        assert!(with.speculative_copies > 0);
+        let a = without.jct_secs("fg").unwrap();
+        let b = with.jct_secs("fg").unwrap();
+        assert!(b < a, "mitigation must shorten the heavy tail: {b} !< {a}");
+    }
+
+    #[test]
+    fn horizon_aborts_incomplete_runs() {
+        let job = map_only("long", 4, constant(1000.0), Priority::default()).unwrap();
+        let report = Simulation::new(
+            config(1, 2).with_horizon(SimTime::from_secs(10)),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![job],
+        )
+        .run();
+        assert!(!report.completed);
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.jobs[0].completed_secs, None);
+    }
+
+    #[test]
+    fn locality_counts_accumulate() {
+        let job = pipeline_of(
+            "p",
+            &[(4, constant(1.0)), (4, constant(1.0))],
+            Priority::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let report =
+            Simulation::new(config(2, 2), PolicyConfig::WorkConserving, OrderConfig::FifoPriority, vec![job])
+                .run();
+        let total: u64 = report.locality_counts.iter().sum();
+        assert_eq!(total, 8);
+        // Downstream tasks land on their upstream slots (free at barrier).
+        assert_eq!(report.locality_counts[0], 8);
+    }
+
+    #[test]
+    fn trace_records_every_instance() {
+        let job = pipeline_of(
+            "p",
+            &[(4, constant(1.0)), (4, constant(2.0))],
+            Priority::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let report = Simulation::new(
+            config(2, 2).record_trace(true),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![job],
+        )
+        .run();
+        assert_eq!(report.trace.len(), 8);
+        for r in &report.trace {
+            assert_eq!(r.job, "p");
+            assert_eq!(r.outcome, "finished");
+            assert!(r.end_secs > r.start_secs);
+            assert!(!r.speculative);
+        }
+        // Stage 1 records start after stage 0's barrier clears.
+        let s0_end = report
+            .trace
+            .iter()
+            .filter(|r| r.stage == 0)
+            .map(|r| r.end_secs)
+            .fold(0.0f64, f64::max);
+        for r in report.trace.iter().filter(|r| r.stage == 1) {
+            assert!(r.start_secs >= s0_end);
+        }
+        // Disabled by default.
+        let quiet = Simulation::new(
+            config(2, 2),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![pipeline_of("q", &[(2, constant(1.0))], Priority::default(), SimTime::ZERO)
+                .unwrap()],
+        )
+        .run();
+        assert!(quiet.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_marks_killed_copies() {
+        let job = pareto_pipeline("h", 2, 8, 1.0, 1.2, Priority::new(10)).unwrap();
+        let report = Simulation::new(
+            config(2, 4).with_seed(3).record_trace(true),
+            PolicyConfig::ssr_strict_with_stragglers(),
+            OrderConfig::FifoPriority,
+            vec![job],
+        )
+        .run();
+        let killed = report.trace.iter().filter(|r| r.outcome == "killed").count() as u64;
+        assert_eq!(killed, report.kills);
+        if report.speculative_copies > 0 {
+            assert!(report.trace.iter().any(|r| r.speculative));
+        }
+    }
+
+    #[test]
+    fn occupancy_integral_accounts_every_slot_second() {
+        let job = pareto_pipeline("p", 2, 4, 1.0, 1.6, Priority::default()).unwrap();
+        let report =
+            Simulation::new(config(1, 4), PolicyConfig::ssr_strict(), OrderConfig::FifoPriority, vec![job])
+                .run();
+        let total = report.busy_slot_secs + report.reserved_idle_slot_secs + report.free_slot_secs;
+        let expected = 4.0 * report.makespan_secs;
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "integral {total} != slots x makespan {expected}"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Google-cluster-trace-like background workloads.
+//!
+//! The paper's background load is "100 synthesized jobs randomly sampled
+//! from the Google cluster traces in a one-hour window" (cluster
+//! deployment) and a mix of 8000 such jobs (simulation). We cannot ship
+//! the trace, so this module synthesizes statistically similar load from
+//! the published trace studies the paper cites:
+//!
+//! * job inter-arrival times are exponential (Poisson arrivals),
+//! * task counts are heavy-tailed — most jobs are small, a few are huge
+//!   (geometric-like body with a Pareto tail),
+//! * task durations follow Pareto with shape ~1.6 (Facebook/Bing
+//!   measurements cited in §IV-B.2),
+//! * most jobs have 1–3 phases (batch jobs are shallow; the foreground
+//!   workflow jobs are the deep ones).
+
+use ssr_dag::{DagError, JobSpec, JobSpecBuilder, Priority};
+use ssr_simcore::dist::{pareto, Distribution, Pareto};
+use ssr_simcore::rng::SimRng;
+use ssr_simcore::{SimDuration, SimTime};
+
+/// Configuration of the background-trace synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoogleTraceConfig {
+    /// Number of jobs to synthesize.
+    pub jobs: u32,
+    /// Length of the arrival window.
+    pub horizon: SimDuration,
+    /// Median number of tasks per job.
+    pub median_tasks: u32,
+    /// Cap on tasks per job (keeps the heavy tail simulable).
+    pub max_tasks: u32,
+    /// Pareto scale of task durations, seconds (shortest tasks).
+    pub duration_scale_secs: f64,
+    /// Pareto shape of task durations (1.6 per the cited trace studies).
+    pub duration_shape: f64,
+    /// Probability that a job has a second phase; squared for a third.
+    pub multi_phase_prob: f64,
+    /// Priority assigned to every background job.
+    pub priority: Priority,
+    /// Multiplier on task durations (the "prolonged background" settings
+    /// double this).
+    pub runtime_factor: f64,
+}
+
+impl GoogleTraceConfig {
+    /// The cluster-deployment setting: 100 jobs over one hour, runtimes
+    /// scaled down 10× as in §II-B ("we scaled down the task runtime in
+    /// traces by 10×").
+    pub fn cluster_hour() -> Self {
+        GoogleTraceConfig {
+            jobs: 100,
+            horizon: SimDuration::from_secs(3600),
+            median_tasks: 10,
+            max_tasks: 200,
+            duration_scale_secs: 2.0,
+            duration_shape: 1.6,
+            multi_phase_prob: 0.3,
+            priority: Priority::new(0),
+            runtime_factor: 1.0,
+        }
+    }
+
+    /// The large-scale simulation setting (§VI-B): thousands of jobs.
+    pub fn simulation(jobs: u32, horizon: SimDuration) -> Self {
+        GoogleTraceConfig { jobs, horizon, ..GoogleTraceConfig::cluster_hour() }
+    }
+
+    /// Doubles (or otherwise scales) the task runtimes — the paper's
+    /// "prolonged background jobs" stress setting.
+    pub fn with_runtime_factor(mut self, factor: f64) -> Self {
+        self.runtime_factor = factor;
+        self
+    }
+
+    /// Sets the background priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the number of jobs.
+    pub fn with_jobs(mut self, jobs: u32) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Deterministic generator of background job specs.
+///
+/// # Example
+///
+/// ```
+/// use ssr_workload::GoogleTraceConfig;
+/// use ssr_workload::google::GoogleTraceGenerator;
+/// use ssr_simcore::rng::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let jobs = GoogleTraceGenerator::new(GoogleTraceConfig::cluster_hour())
+///     .generate(&mut rng)?;
+/// assert_eq!(jobs.len(), 100);
+/// # Ok::<(), ssr_dag::DagError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoogleTraceGenerator {
+    config: GoogleTraceConfig,
+}
+
+impl GoogleTraceGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: GoogleTraceConfig) -> Self {
+        GoogleTraceGenerator { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GoogleTraceConfig {
+        &self.config
+    }
+
+    /// Synthesizes the job specs, sorted by arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError`] if a generated spec fails validation (cannot
+    /// happen for a valid configuration; kept fallible for API honesty).
+    pub fn generate(&self, rng: &mut SimRng) -> Result<Vec<JobSpec>, DagError> {
+        let c = &self.config;
+        let mut jobs = Vec::with_capacity(c.jobs as usize);
+        for i in 0..c.jobs {
+            // Uniform arrivals over the horizon are equivalent to ordered
+            // Poisson arrival times conditioned on the count.
+            let arrival = SimTime::ZERO
+                + SimDuration::from_micros(rng.next_below(c.horizon.as_micros().max(1)));
+            let tasks = self.sample_task_count(rng);
+            let phases = self.sample_phase_count(rng);
+            let dist = pareto(
+                c.duration_scale_secs * c.runtime_factor,
+                c.duration_shape,
+            );
+            let mut b = JobSpecBuilder::new(format!("bg-{i:05}"))
+                .priority(c.priority)
+                .arrival(arrival);
+            for p in 0..phases {
+                b = b.stage(format!("phase-{p}"), tasks, dist.clone());
+            }
+            jobs.push(b.chain().build()?);
+        }
+        jobs.sort_by_key(|j| (j.arrival(), j.name().to_owned()));
+        Ok(jobs)
+    }
+
+    /// Heavy-tailed task count: Pareto with the configured median, capped.
+    fn sample_task_count(&self, rng: &mut SimRng) -> u32 {
+        // Pareto(median / 2^(1/alpha), alpha = 1.1) has the right median
+        // and a heavy tail of large jobs.
+        let alpha = 1.1;
+        let scale = self.config.median_tasks as f64 / 2f64.powf(1.0 / alpha);
+        let p = Pareto::new(scale.max(0.5), alpha).expect("valid task-count Pareto");
+        (p.sample(rng).round() as u32).clamp(1, self.config.max_tasks)
+    }
+
+    fn sample_phase_count(&self, rng: &mut SimRng) -> u32 {
+        let mut phases = 1;
+        if rng.chance(self.config.multi_phase_prob) {
+            phases += 1;
+            if rng.chance(self.config.multi_phase_prob) {
+                phases += 1;
+            }
+        }
+        phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate(seed: u64) -> Vec<JobSpec> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        GoogleTraceGenerator::new(GoogleTraceConfig::cluster_hour())
+            .generate(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn generates_requested_job_count() {
+        assert_eq!(generate(1).len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(7);
+        let b = generate(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.arrival(), y.arrival());
+            assert_eq!(x.total_tasks(), y.total_tasks());
+        }
+        let c = generate(8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.arrival() != y.arrival()));
+    }
+
+    #[test]
+    fn arrivals_within_horizon_and_sorted() {
+        let jobs = generate(2);
+        let horizon = SimTime::ZERO + SimDuration::from_secs(3600);
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival() <= w[1].arrival());
+        }
+        assert!(jobs.iter().all(|j| j.arrival() < horizon));
+    }
+
+    #[test]
+    fn task_counts_are_heavy_tailed_but_capped() {
+        let jobs = generate(3);
+        let counts: Vec<u64> = jobs.iter().map(|j| j.stages()[0].parallelism() as u64).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max <= 200);
+        assert!(min >= 1);
+        // Most jobs are small (the "smallest 90% of jobs" phenomenon).
+        let small = counts.iter().filter(|&&c| c <= 30).count();
+        assert!(small > counts.len() / 2, "only {small} small jobs");
+        // But the tail exists.
+        assert!(max > 50, "no large job in the tail (max {max})");
+    }
+
+    #[test]
+    fn phase_counts_mostly_shallow() {
+        let jobs = generate(4);
+        let single = jobs.iter().filter(|j| j.stages().len() == 1).count();
+        assert!(single > jobs.len() / 2);
+        assert!(jobs.iter().all(|j| j.stages().len() <= 3));
+    }
+
+    #[test]
+    fn runtime_factor_scales_durations() {
+        let base = GoogleTraceConfig::cluster_hour();
+        let doubled = base.with_runtime_factor(2.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        let a = GoogleTraceGenerator::new(base).generate(&mut rng).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let b = GoogleTraceGenerator::new(doubled).generate(&mut rng).unwrap();
+        let ma = a[0].stages()[0].duration().mean().unwrap();
+        let mb = b[0].stages()[0].duration().mean().unwrap();
+        assert!((mb / ma - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = GoogleTraceConfig::simulation(8000, SimDuration::from_secs(7200))
+            .with_priority(Priority::new(-5))
+            .with_jobs(50);
+        assert_eq!(c.jobs, 50);
+        assert_eq!(c.priority, Priority::new(-5));
+        assert_eq!(c.horizon, SimDuration::from_secs(7200));
+    }
+}

@@ -1,0 +1,244 @@
+//! SparkBench-like iterative machine-learning and graph workloads.
+//!
+//! The paper's foreground jobs are KMeans, SVM and PageRank from
+//! SparkBench (§II-B, §VI-A). What matters to the scheduler is their
+//! *structure*: iterative pipelines of many dependent phases with a stable
+//! degree of parallelism (the property that makes Algorithm 1's Case-1
+//! approximation accurate) and moderately skewed task durations. The
+//! templates below reproduce those structures with measured-trace-like
+//! log-normal durations.
+
+use ssr_dag::{DagError, JobSpec, JobSpecBuilder, Priority};
+use ssr_simcore::dist::lognormal_mean_cv;
+use ssr_simcore::SimTime;
+
+/// Parameters shared by the MLlib-like templates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MllibParams {
+    /// Degree of parallelism of every phase (the paper uses 8 in Fig. 1
+    /// and 20 in Fig. 5).
+    pub parallelism: u32,
+    /// Number of algorithm iterations (each contributes 2 phases).
+    pub iterations: u32,
+    /// Mean intrinsic task duration, seconds.
+    pub mean_task_secs: f64,
+    /// Coefficient of variation of task durations (skew).
+    pub cv: f64,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Multiplier applied to every task duration (the "task runtime × 2"
+    /// stress settings).
+    pub runtime_factor: f64,
+}
+
+impl MllibParams {
+    /// A small configuration comparable to the paper's Fig. 1 setup
+    /// (parallelism 8).
+    pub fn small() -> Self {
+        MllibParams {
+            parallelism: 8,
+            iterations: 4,
+            mean_task_secs: 4.0,
+            cv: 0.35,
+            priority: Priority::default(),
+            arrival: SimTime::ZERO,
+            runtime_factor: 1.0,
+        }
+    }
+
+    /// The cluster-experiment configuration (parallelism 20, as in the
+    /// Fig. 5 microbenchmark).
+    pub fn cluster() -> Self {
+        MllibParams { parallelism: 20, iterations: 6, ..MllibParams::small() }
+    }
+
+    /// Sets the degree of parallelism.
+    pub fn with_parallelism(mut self, parallelism: u32) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the iteration count.
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the submission time.
+    pub fn with_arrival(mut self, arrival: SimTime) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the mean task duration in seconds.
+    pub fn with_mean_task_secs(mut self, secs: f64) -> Self {
+        self.mean_task_secs = secs;
+        self
+    }
+
+    /// Multiplies every task duration (stress settings).
+    pub fn with_runtime_factor(mut self, factor: f64) -> Self {
+        self.runtime_factor = factor;
+        self
+    }
+
+    fn dist(&self, relative_mean: f64) -> ssr_simcore::dist::DynDistribution {
+        lognormal_mean_cv(self.mean_task_secs * relative_mean * self.runtime_factor, self.cv)
+    }
+}
+
+/// A KMeans-like job: data load/init, then per iteration an *assign*
+/// phase (distance computation, the heavy map) and an *update* phase
+/// (centroid aggregation).
+///
+/// # Errors
+///
+/// Returns [`DagError`] if the parameters produce an invalid DAG (e.g.
+/// zero parallelism).
+pub fn kmeans(params: &MllibParams) -> Result<JobSpec, DagError> {
+    let mut b = JobSpecBuilder::new("kmeans")
+        .priority(params.priority)
+        .arrival(params.arrival)
+        .stage("load", params.parallelism, params.dist(0.8));
+    for i in 0..params.iterations {
+        b = b
+            .stage(format!("assign-{i}"), params.parallelism, params.dist(1.0))
+            .stage(format!("update-{i}"), params.parallelism, params.dist(0.4));
+    }
+    b.chain().build()
+}
+
+/// An SVM-like job (mini-batch gradient descent): data load, then per
+/// iteration a *gradient* phase and an *aggregate* phase.
+///
+/// # Errors
+///
+/// Returns [`DagError`] if the parameters produce an invalid DAG.
+pub fn svm(params: &MllibParams) -> Result<JobSpec, DagError> {
+    let mut b = JobSpecBuilder::new("svm")
+        .priority(params.priority)
+        .arrival(params.arrival)
+        .stage("load", params.parallelism, params.dist(0.8));
+    for i in 0..params.iterations {
+        b = b
+            .stage(format!("gradient-{i}"), params.parallelism, params.dist(1.2))
+            .stage(format!("aggregate-{i}"), params.parallelism, params.dist(0.3));
+    }
+    b.chain().build()
+}
+
+/// A PageRank-like job: graph load, contribution init, then per iteration
+/// a *contrib* phase (join + flatMap) and a *rank* phase (reduceByKey).
+/// Task skew is higher than in the ML jobs (power-law vertex degrees).
+///
+/// # Errors
+///
+/// Returns [`DagError`] if the parameters produce an invalid DAG.
+pub fn pagerank(params: &MllibParams) -> Result<JobSpec, DagError> {
+    let skewed = |mean: f64| {
+        lognormal_mean_cv(
+            params.mean_task_secs * mean * params.runtime_factor,
+            (params.cv * 2.0).max(0.5),
+        )
+    };
+    let mut b = JobSpecBuilder::new("pagerank")
+        .priority(params.priority)
+        .arrival(params.arrival)
+        .stage("load-graph", params.parallelism, skewed(1.0))
+        .stage("init-ranks", params.parallelism, params.dist(0.3));
+    for i in 0..params.iterations {
+        b = b
+            .stage(format!("contrib-{i}"), params.parallelism, skewed(1.1))
+            .stage(format!("rank-{i}"), params.parallelism, params.dist(0.4));
+    }
+    b.chain().build()
+}
+
+/// All three foreground applications, in the order the paper plots them.
+///
+/// # Errors
+///
+/// Returns [`DagError`] if the parameters produce an invalid DAG.
+pub fn foreground_suite(params: &MllibParams) -> Result<Vec<JobSpec>, DagError> {
+    Ok(vec![kmeans(params)?, svm(params)?, pagerank(params)?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_dag::StageId;
+
+    #[test]
+    fn kmeans_structure() {
+        let spec = kmeans(&MllibParams::small()).unwrap();
+        assert_eq!(spec.name(), "kmeans");
+        // load + 4 iterations x 2 phases.
+        assert_eq!(spec.stages().len(), 9);
+        assert_eq!(spec.depth(), 9); // linear chain
+        assert!(spec.stages().iter().all(|s| s.parallelism() == 8));
+    }
+
+    #[test]
+    fn svm_and_pagerank_structures() {
+        let params = MllibParams::small().with_iterations(3);
+        let svm = svm(&params).unwrap();
+        assert_eq!(svm.stages().len(), 7);
+        let pr = pagerank(&params).unwrap();
+        assert_eq!(pr.stages().len(), 8); // 2 init + 3 x 2
+        assert!(pr.depth() == 8);
+    }
+
+    #[test]
+    fn stable_parallelism_property() {
+        // The property the paper relies on: MLlib jobs never change their
+        // degree of parallelism across phases.
+        for spec in foreground_suite(&MllibParams::cluster()).unwrap() {
+            let p0 = spec.stages()[0].parallelism();
+            assert!(spec.stages().iter().all(|s| s.parallelism() == p0), "{}", spec.name());
+            // Hence Algorithm 1 sees m == n at every barrier.
+            for s in spec.iter_stage_ids() {
+                if !spec.is_final(s) {
+                    assert_eq!(spec.downstream_parallelism(s), Some(u64::from(p0)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_builders() {
+        let p = MllibParams::small()
+            .with_parallelism(16)
+            .with_iterations(2)
+            .with_priority(Priority::new(9))
+            .with_arrival(SimTime::from_secs(5))
+            .with_mean_task_secs(2.0)
+            .with_runtime_factor(2.0);
+        assert_eq!(p.parallelism, 16);
+        let spec = kmeans(&p).unwrap();
+        assert_eq!(spec.priority(), Priority::new(9));
+        assert_eq!(spec.arrival(), SimTime::from_secs(5));
+        assert_eq!(spec.stages().len(), 5);
+    }
+
+    #[test]
+    fn runtime_factor_scales_means() {
+        let base = kmeans(&MllibParams::small()).unwrap();
+        let doubled = kmeans(&MllibParams::small().with_runtime_factor(2.0)).unwrap();
+        let m0 = base.stage(StageId::new(1)).duration().mean().unwrap();
+        let m1 = doubled.stage(StageId::new(1)).duration().mean().unwrap();
+        assert!((m1 / m0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_parallelism_propagates_error() {
+        assert!(kmeans(&MllibParams::small().with_parallelism(0)).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! TPC-DS-like SQL query workloads.
+//!
+//! The paper's simulation runs "SQL traces consisting of 20 queries
+//! provided by the TPC-DS benchmark" (§VI-B) in the foreground. The
+//! property that matters — and the reason SQL jobs are "more susceptible
+//! to be dragged down" — is that their **degree of parallelism changes
+//! across phases**: wide scans feed narrower shuffles, joins and
+//! aggregations, so the reserved upstream slots cannot cover a wider
+//! downstream phase without pre-reservation (Algorithm 1, Case 2.3).
+//!
+//! The 20 templates below are deterministic structural sketches of TPC-DS
+//! query plans: 3–7 stages, fan-in joins, and per-stage parallelism
+//! varying by up to ~8× in both directions.
+
+use ssr_dag::{DagError, JobSpec, JobSpecBuilder, Priority};
+use ssr_simcore::dist::lognormal_mean_cv;
+use ssr_simcore::SimTime;
+
+/// Number of distinct query templates (matching the paper's 20 TPC-DS
+/// queries).
+pub const QUERY_COUNT: usize = 20;
+
+/// Parameters for the SQL query templates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqlParams {
+    /// Parallelism of the widest (scan) stages; other stages scale off it.
+    pub base_parallelism: u32,
+    /// Mean intrinsic task duration of a scan task, seconds.
+    pub mean_task_secs: f64,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Multiplier applied to every task duration.
+    pub runtime_factor: f64,
+}
+
+impl SqlParams {
+    /// A medium configuration: 32-task scans.
+    pub fn medium() -> Self {
+        SqlParams {
+            base_parallelism: 32,
+            mean_task_secs: 2.0,
+            priority: Priority::default(),
+            arrival: SimTime::ZERO,
+            runtime_factor: 1.0,
+        }
+    }
+
+    /// Sets the widest-stage parallelism.
+    pub fn with_base_parallelism(mut self, parallelism: u32) -> Self {
+        self.base_parallelism = parallelism;
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the submission time.
+    pub fn with_arrival(mut self, arrival: SimTime) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Multiplies every task duration.
+    pub fn with_runtime_factor(mut self, factor: f64) -> Self {
+        self.runtime_factor = factor;
+        self
+    }
+}
+
+/// One stage of a query sketch: (name, parallelism fraction of base,
+/// mean-duration fraction, skew cv).
+type StageSketch = (&'static str, f64, f64, f64);
+
+/// The structural sketches. Fractions below 1 shrink parallelism
+/// downstream; above 1 widen it (exercising pre-reservation).
+fn sketch(query: usize) -> (&'static [StageSketch], &'static [(u32, u32)]) {
+    // A few reusable plan shapes; queries map onto them with different
+    // width profiles. Edges reference stage indices within the sketch.
+    const LINEAR_NARROWING: &[StageSketch] = &[
+        ("scan", 1.0, 1.0, 0.6),
+        ("filter", 0.5, 0.5, 0.4),
+        ("agg", 0.25, 0.8, 0.4),
+    ];
+    const LINEAR_NARROWING_EDGES: &[(u32, u32)] = &[(0, 1), (1, 2)];
+
+    const LINEAR_WIDENING: &[StageSketch] = &[
+        ("scan", 0.5, 1.0, 0.6),
+        ("explode", 1.0, 0.7, 0.5),
+        ("shuffle", 2.0, 0.5, 0.5),
+        ("agg", 0.5, 0.6, 0.4),
+    ];
+    const LINEAR_WIDENING_EDGES: &[(u32, u32)] = &[(0, 1), (1, 2), (2, 3)];
+
+    const JOIN_DIAMOND: &[StageSketch] = &[
+        ("scan-facts", 1.0, 1.2, 0.7),
+        ("scan-dims", 0.25, 0.6, 0.4),
+        ("join", 0.75, 1.0, 0.6),
+        ("agg", 0.25, 0.7, 0.4),
+    ];
+    const JOIN_DIAMOND_EDGES: &[(u32, u32)] = &[(0, 2), (1, 2), (2, 3)];
+
+    const DEEP_PIPELINE: &[StageSketch] = &[
+        ("scan", 1.0, 1.0, 0.6),
+        ("join-1", 0.5, 0.9, 0.5),
+        ("shuffle", 1.5, 0.6, 0.5),
+        ("join-2", 0.75, 0.8, 0.5),
+        ("window", 0.5, 0.7, 0.4),
+        ("sort", 0.25, 0.5, 0.3),
+        ("limit", 0.125, 0.3, 0.2),
+    ];
+    const DEEP_PIPELINE_EDGES: &[(u32, u32)] =
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)];
+
+    const WIDE_UNION: &[StageSketch] = &[
+        ("scan-a", 0.5, 1.0, 0.6),
+        ("scan-b", 0.5, 1.0, 0.6),
+        ("union-shuffle", 1.5, 0.6, 0.5),
+        ("dedup", 0.75, 0.6, 0.4),
+        ("agg", 0.25, 0.5, 0.3),
+    ];
+    const WIDE_UNION_EDGES: &[(u32, u32)] = &[(0, 2), (1, 2), (2, 3), (3, 4)];
+
+    match query % 5 {
+        0 => (LINEAR_NARROWING, LINEAR_NARROWING_EDGES),
+        1 => (LINEAR_WIDENING, LINEAR_WIDENING_EDGES),
+        2 => (JOIN_DIAMOND, JOIN_DIAMOND_EDGES),
+        3 => (DEEP_PIPELINE, DEEP_PIPELINE_EDGES),
+        _ => (WIDE_UNION, WIDE_UNION_EDGES),
+    }
+}
+
+/// Builds query template `query` (0-based, `query < QUERY_COUNT`).
+///
+/// Templates with the same plan shape differ in width: the effective base
+/// parallelism is scaled by `1 + query / 5`.
+///
+/// # Errors
+///
+/// Returns [`DagError`] if the parameters produce an invalid DAG.
+///
+/// # Panics
+///
+/// Panics if `query >= QUERY_COUNT`.
+pub fn query(query: usize, params: &SqlParams) -> Result<JobSpec, DagError> {
+    assert!(query < QUERY_COUNT, "query index {query} out of range (< {QUERY_COUNT})");
+    let (stages, edges) = sketch(query);
+    let width_scale = 1.0 + (query / 5) as f64 * 0.5;
+    let mut b = JobSpecBuilder::new(format!("tpcds-q{:02}", query + 1))
+        .priority(params.priority)
+        .arrival(params.arrival);
+    for &(name, width, mean, cv) in stages {
+        let parallelism =
+            ((params.base_parallelism as f64 * width * width_scale).round() as u32).max(1);
+        let dist = lognormal_mean_cv(
+            params.mean_task_secs * mean * params.runtime_factor,
+            cv,
+        );
+        b = b.stage(name, parallelism, dist);
+    }
+    for &(u, d) in edges {
+        b = b.edge(u, d);
+    }
+    b.build()
+}
+
+/// All 20 query templates.
+///
+/// # Errors
+///
+/// Returns [`DagError`] if any template fails to build.
+pub fn all_queries(params: &SqlParams) -> Result<Vec<JobSpec>, DagError> {
+    (0..QUERY_COUNT).map(|q| query(q, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_queries_build() {
+        let qs = all_queries(&SqlParams::medium()).unwrap();
+        assert_eq!(qs.len(), QUERY_COUNT);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.name(), format!("tpcds-q{:02}", i + 1));
+            assert!(q.stages().len() >= 3, "{} too shallow", q.name());
+        }
+    }
+
+    #[test]
+    fn parallelism_changes_across_phases() {
+        // The defining property: at least one barrier of every query has
+        // m != n.
+        for q in all_queries(&SqlParams::medium()).unwrap() {
+            let mut changes = false;
+            for s in q.iter_stage_ids() {
+                if q.is_final(s) {
+                    continue;
+                }
+                let m = u64::from(q.stage(s).parallelism());
+                if q.downstream_parallelism(s) != Some(m) {
+                    changes = true;
+                }
+            }
+            assert!(changes, "{} has constant parallelism", q.name());
+        }
+    }
+
+    #[test]
+    fn some_queries_widen_downstream() {
+        // Pre-reservation (Case 2.3) must be exercised: some barrier has
+        // n > m.
+        let mut widening = 0;
+        for q in all_queries(&SqlParams::medium()).unwrap() {
+            for s in q.iter_stage_ids() {
+                if q.is_final(s) {
+                    continue;
+                }
+                let m = u64::from(q.stage(s).parallelism());
+                if q.downstream_parallelism(s).is_some_and(|n| n > m) {
+                    widening += 1;
+                }
+            }
+        }
+        assert!(widening >= 8, "only {widening} widening barriers across the suite");
+    }
+
+    #[test]
+    fn diamond_queries_have_fan_in() {
+        let q2 = query(2, &SqlParams::medium()).unwrap();
+        let join = ssr_dag::StageId::new(2);
+        assert_eq!(q2.parents(join).len(), 2);
+    }
+
+    #[test]
+    fn width_scale_differentiates_query_groups() {
+        let params = SqlParams::medium();
+        let narrow = query(0, &params).unwrap(); // scale 1.0
+        let wide = query(15, &params).unwrap(); // same shape, scale 2.5
+        assert!(wide.total_tasks() > narrow.total_tasks());
+    }
+
+    #[test]
+    fn params_apply() {
+        let params = SqlParams::medium()
+            .with_base_parallelism(8)
+            .with_priority(Priority::new(3))
+            .with_arrival(SimTime::from_secs(7))
+            .with_runtime_factor(2.0);
+        let q = query(0, &params).unwrap();
+        assert_eq!(q.priority(), Priority::new(3));
+        assert_eq!(q.arrival(), SimTime::from_secs(7));
+        assert_eq!(q.stages()[0].parallelism(), 8);
+        // Minimum parallelism floor of 1 holds even for tiny bases.
+        let tiny = query(3, &SqlParams::medium().with_base_parallelism(1)).unwrap();
+        assert!(tiny.stages().iter().all(|s| s.parallelism() >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_query_panics() {
+        let _ = query(QUERY_COUNT, &SqlParams::medium());
+    }
+}

@@ -1,0 +1,103 @@
+//! Small parametric workload shapes used by the figure harnesses.
+
+use ssr_dag::{DagError, JobSpec, JobSpecBuilder, Priority};
+use ssr_simcore::dist::{pareto, DynDistribution};
+use ssr_simcore::SimTime;
+
+/// A linear pipeline of `phases` phases, each with `parallelism` tasks
+/// drawn from Pareto(`scale_secs`, `shape`) — the canonical workload of
+/// the paper's analytical sections.
+///
+/// # Errors
+///
+/// Returns [`DagError`] if `phases` or `parallelism` is zero.
+pub fn pareto_pipeline(
+    name: impl Into<String>,
+    phases: u32,
+    parallelism: u32,
+    scale_secs: f64,
+    shape: f64,
+    priority: Priority,
+) -> Result<JobSpec, DagError> {
+    if phases == 0 {
+        return Err(DagError::Empty);
+    }
+    let mut b = JobSpecBuilder::new(name).priority(priority);
+    for p in 0..phases {
+        b = b.stage(format!("phase-{p}"), parallelism, pareto(scale_secs, shape));
+    }
+    b.chain().build()
+}
+
+/// A single-phase (map-only) job with `tasks` tasks — the "job-2" of the
+/// paper's Fig. 13 fair-sharing experiment, and the shape of most
+/// background batch jobs.
+///
+/// # Errors
+///
+/// Returns [`DagError`] if `tasks` is zero.
+pub fn map_only(
+    name: impl Into<String>,
+    tasks: u32,
+    duration: DynDistribution,
+    priority: Priority,
+) -> Result<JobSpec, DagError> {
+    JobSpecBuilder::new(name).priority(priority).stage("map", tasks, duration).build()
+}
+
+/// A linear pipeline with explicit per-phase duration distributions.
+///
+/// # Errors
+///
+/// Returns [`DagError`] if `stages` is empty or any parallelism is zero.
+pub fn pipeline_of(
+    name: impl Into<String>,
+    stages: &[(u32, DynDistribution)],
+    priority: Priority,
+    arrival: SimTime,
+) -> Result<JobSpec, DagError> {
+    let mut b = JobSpecBuilder::new(name).priority(priority).arrival(arrival);
+    for (i, (parallelism, dist)) in stages.iter().enumerate() {
+        b = b.stage(format!("phase-{i}"), *parallelism, dist.clone());
+    }
+    b.chain().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_simcore::dist::constant;
+
+    #[test]
+    fn pareto_pipeline_structure() {
+        let spec = pareto_pipeline("p", 3, 4, 1.0, 1.6, Priority::new(1)).unwrap();
+        assert_eq!(spec.stages().len(), 3);
+        assert_eq!(spec.depth(), 3);
+        assert_eq!(spec.total_tasks(), 12);
+        assert_eq!(spec.priority(), Priority::new(1));
+        assert!(pareto_pipeline("p", 0, 4, 1.0, 1.6, Priority::new(1)).is_err());
+    }
+
+    #[test]
+    fn map_only_is_single_phase() {
+        let spec = map_only("m", 16, constant(2.0), Priority::default()).unwrap();
+        assert_eq!(spec.stages().len(), 1);
+        assert!(spec.is_final(ssr_dag::StageId::new(0)));
+        assert!(map_only("m", 0, constant(2.0), Priority::default()).is_err());
+    }
+
+    #[test]
+    fn pipeline_of_applies_per_stage_settings() {
+        let spec = pipeline_of(
+            "custom",
+            &[(4, constant(1.0)), (2, constant(5.0))],
+            Priority::new(2),
+            SimTime::from_secs(3),
+        )
+        .unwrap();
+        assert_eq!(spec.stages()[0].parallelism(), 4);
+        assert_eq!(spec.stages()[1].parallelism(), 2);
+        assert_eq!(spec.arrival(), SimTime::from_secs(3));
+        assert!(pipeline_of("e", &[], Priority::default(), SimTime::ZERO).is_err());
+    }
+}

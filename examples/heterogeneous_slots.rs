@@ -1,0 +1,52 @@
+//! Changing resource demands across phases (§III-C).
+//!
+//! Tez-style jobs may need bigger containers downstream than upstream. A
+//! slot that is too small for the next phase is useless to reserve — SSR
+//! releases it immediately and pre-reserves a right-sized slot instead,
+//! so the wide-demand phase starts without hunting for large slots under
+//! contention.
+//!
+//! Run with: `cargo run --release --example heterogeneous_slots`
+
+use ssr::dag::StageSpec;
+use ssr::prelude::*;
+use ssr::simcore::dist::constant;
+use ssr::workload::synthetic::map_only;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 16 slots; every 4th slot is large (4 resource units).
+    let cluster = ClusterSpec::new(4, 4)?.with_slot_sizing(1, 4, 4);
+
+    // Upstream: 4 unit-demand tasks. Downstream: 4 tasks demanding the
+    // large slots.
+    let fg = JobSpecBuilder::new("tez-like")
+        .priority(Priority::new(10))
+        .stage("map", 4, constant(5.0))
+        .stage_spec(StageSpec::new("heavy-join", 4, constant(5.0)).with_demand(4))
+        .chain()
+        .build()?;
+    // Background batch load that will happily occupy the large slots.
+    let bg = map_only("batch", 64, constant(40.0), Priority::new(0))?;
+
+    for (label, policy) in [
+        ("work-conserving", PolicyConfig::WorkConserving),
+        ("speculative slot reservation", PolicyConfig::ssr_strict()),
+    ] {
+        let outcome = Experiment::new(
+            SimConfig::new(cluster).with_seed(17),
+            policy,
+            OrderConfig::FifoPriority,
+        )
+        .foreground([fg.clone()])
+        .background([bg.clone()])
+        .run();
+        let row = outcome.slowdown_of("tez-like").expect("job measured");
+        println!(
+            "{label:30} JCT alone {:6.1}s, contended {:6.1}s -> slowdown {:.2}x",
+            row.alone_jct_secs, row.contended_jct_secs, row.slowdown
+        );
+    }
+    println!("\nSSR releases too-small slots and pre-reserves large ones (§III-C),");
+    println!("so the heavy-join phase is not stuck behind 40 s batch tasks.");
+    Ok(())
+}

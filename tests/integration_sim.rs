@@ -1,0 +1,286 @@
+//! End-to-end integration tests across the workspace: workloads are
+//! generated, scheduled and simulated through the public facade API, and
+//! global invariants are checked on the resulting reports.
+
+use proptest::prelude::*;
+use ssr::prelude::*;
+use ssr::simcore::dist::constant;
+use ssr::simcore::rng::SimRng;
+use ssr::workload::google::GoogleTraceGenerator;
+use ssr::workload::synthetic::{map_only, pareto_pipeline, pipeline_of};
+use ssr::workload::GoogleTraceConfig;
+
+fn quick_config(nodes: u32, slots: u32, seed: u64) -> SimConfig {
+    SimConfig::new(ClusterSpec::new(nodes, slots).expect("valid cluster")).with_seed(seed)
+}
+
+#[test]
+fn all_policies_run_a_mixed_workload_to_completion() {
+    let mk_jobs = || {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut jobs = GoogleTraceGenerator::new(
+            GoogleTraceConfig::cluster_hour().with_jobs(30),
+        )
+        .generate(&mut rng)
+        .expect("valid trace");
+        jobs.push(pareto_pipeline("fg", 4, 8, 1.0, 1.5, Priority::new(10)).expect("valid job"));
+        jobs
+    };
+    for policy in [
+        PolicyConfig::WorkConserving,
+        PolicyConfig::Timeout(SimDuration::from_secs(30)),
+        PolicyConfig::Static { count: 8, class: Priority::new(10) },
+        PolicyConfig::ssr_strict(),
+        PolicyConfig::ssr_with_isolation(0.5),
+        PolicyConfig::ssr_strict_with_stragglers(),
+    ] {
+        let label = policy.label();
+        let report = Simulation::new(
+            quick_config(10, 4, 1),
+            policy,
+            OrderConfig::FifoPriority,
+            mk_jobs(),
+        )
+        .run();
+        assert!(report.completed, "policy {label} left jobs unfinished");
+        assert_eq!(report.jobs.len(), 31, "policy {label} lost jobs");
+        assert!(
+            report.jobs.iter().all(|j| j.completed_secs.is_some()),
+            "policy {label} has unfinished job results"
+        );
+    }
+}
+
+#[test]
+fn reports_are_bit_identical_across_runs() {
+    let jobs = || {
+        vec![
+            pareto_pipeline("a", 5, 8, 1.0, 1.4, Priority::new(10)).unwrap(),
+            map_only("b", 40, constant(7.0), Priority::new(0)).unwrap(),
+        ]
+    };
+    let run = || {
+        Simulation::new(
+            quick_config(4, 2, 77),
+            PolicyConfig::ssr_strict_with_stragglers(),
+            OrderConfig::FifoPriority,
+            jobs(),
+        )
+        .run()
+    };
+    let (r1, r2) = (run(), run());
+    assert_eq!(r1.makespan_secs, r2.makespan_secs);
+    assert_eq!(r1.busy_slot_secs, r2.busy_slot_secs);
+    assert_eq!(r1.speculative_copies, r2.speculative_copies);
+    assert_eq!(r1.kills, r2.kills);
+    for (a, b) in r1.jobs.iter().zip(&r2.jobs) {
+        assert_eq!(a.completed_secs, b.completed_secs, "job {} diverged", a.name);
+    }
+}
+
+#[test]
+fn policy_isolation_ordering_holds() {
+    // For the foreground job: SSR <= timeout-reservation <= work-conserving
+    // slowdown (timeout holds slots only sometimes; SSR holds exactly when
+    // needed).
+    let fg = || pareto_pipeline("fg", 4, 8, 1.0, 1.3, Priority::new(10)).unwrap();
+    let bg = || map_only("bg", 48, constant(40.0), Priority::new(0)).unwrap();
+    let slowdown = |policy: PolicyConfig| {
+        Experiment::new(quick_config(2, 4, 13), policy, OrderConfig::FifoPriority)
+            .foreground([fg()])
+            .background([bg()])
+            .run()
+            .mean_slowdown()
+    };
+    let wc = slowdown(PolicyConfig::WorkConserving);
+    let ssr = slowdown(PolicyConfig::ssr_strict());
+    assert!(ssr <= wc, "SSR ({ssr}) must not exceed work-conserving ({wc})");
+    assert!(ssr < 1.25, "SSR slowdown {ssr} too large");
+    assert!(wc > 1.5, "the scenario must exhibit contention, got {wc}");
+}
+
+#[test]
+fn static_reservation_isolates_but_wastes_when_oversized() {
+    // An oversized static pool protects the foreground but keeps slots
+    // reserved even when no foreground work exists (the §III-A.1 critique).
+    let fg = pareto_pipeline("fg", 3, 4, 1.0, 1.3, Priority::new(10)).unwrap();
+    let bg = map_only("bg", 24, constant(20.0), Priority::new(0)).unwrap();
+    let report = Simulation::new(
+        quick_config(2, 4, 3),
+        PolicyConfig::Static { count: 6, class: Priority::new(10) },
+        OrderConfig::FifoPriority,
+        vec![fg, bg],
+    )
+    .run();
+    assert!(report.completed);
+    // The pool idles whenever the foreground is between phases or done.
+    assert!(
+        report.reserved_idle_slot_secs > 0.0,
+        "static pool should show idle reservation time"
+    );
+}
+
+#[test]
+fn timeout_reservation_blind_holding_wastes_after_final_phase() {
+    // A single map-only job: timeout reservation still holds every freed
+    // slot for the timeout even though no downstream work exists. Uneven
+    // durations keep earlier finishers' slots reserved while the last
+    // tasks run.
+    let job =
+        map_only("solo", 8, ssr::simcore::dist::uniform(1.0, 6.0), Priority::new(5)).unwrap();
+    let report = Simulation::new(
+        quick_config(2, 4, 4),
+        PolicyConfig::Timeout(SimDuration::from_secs(30)),
+        OrderConfig::FifoPriority,
+        vec![job.clone()],
+    )
+    .run();
+    let ssr = Simulation::new(
+        quick_config(2, 4, 4),
+        PolicyConfig::ssr_strict(),
+        OrderConfig::FifoPriority,
+        vec![job],
+    )
+    .run();
+    // SSR releases final-phase slots immediately: no reserved-idle at all.
+    assert_eq!(ssr.reserved_idle_slot_secs, 0.0);
+    assert!(
+        report.reserved_idle_slot_secs > 0.0,
+        "timeout policy must blindly hold freed slots"
+    );
+}
+
+#[test]
+fn fair_sharing_with_ssr_speeds_up_pipeline_job() {
+    let pipeline = || {
+        pipeline_of(
+            "p",
+            &[(4, constant(5.0)), (4, constant(5.0)), (4, constant(5.0))],
+            Priority::new(0),
+            SimTime::ZERO,
+        )
+        .unwrap()
+    };
+    let batch = || map_only("m", 60, constant(25.0), Priority::new(0)).unwrap();
+    let jct = |policy: PolicyConfig| {
+        Simulation::new(quick_config(4, 2, 5), policy, OrderConfig::Fair, vec![
+            pipeline(),
+            batch(),
+        ])
+        .run()
+        .jct_secs("p")
+        .expect("pipeline finishes")
+    };
+    let without = jct(PolicyConfig::WorkConserving);
+    let with = jct(PolicyConfig::ssr_strict());
+    assert!(with < without, "SSR must help under fair sharing: {with} !< {without}");
+}
+
+#[test]
+fn straggler_copies_never_slow_the_job_down() {
+    for seed in 0..8 {
+        let job = || pareto_pipeline("j", 3, 16, 1.0, 1.2, Priority::new(10)).unwrap();
+        let jct = |policy: PolicyConfig| {
+            Simulation::new(quick_config(4, 4, seed), policy, OrderConfig::FifoPriority, vec![
+                job(),
+            ])
+            .run()
+            .jct_secs("j")
+            .expect("job finishes")
+        };
+        let plain = jct(PolicyConfig::ssr_strict());
+        let mitigated = jct(PolicyConfig::ssr_strict_with_stragglers());
+        assert!(
+            mitigated <= plain + 1e-6,
+            "seed {seed}: mitigation hurt ({mitigated} > {plain})"
+        );
+    }
+}
+
+#[test]
+fn hidden_parallelism_case1_still_isolates() {
+    // Blinding the scheduler to downstream parallelism forces Algorithm 1
+    // into Case 1; with stable parallelism it must isolate identically.
+    let fg = |hidden: bool| {
+        let mut b = JobSpecBuilder::new("fg").priority(Priority::new(10));
+        for i in 0..4 {
+            b = b.stage(format!("s{i}"), 8, ssr::simcore::dist::pareto(1.0, 1.4));
+        }
+        if hidden {
+            b = b.hide_parallelism();
+        }
+        b.chain().build().unwrap()
+    };
+    let bg = || map_only("bg", 48, constant(40.0), Priority::new(0)).unwrap();
+    let slowdown = |hidden: bool| {
+        Experiment::new(quick_config(2, 4, 17), PolicyConfig::ssr_strict(), OrderConfig::FifoPriority)
+            .foreground([fg(hidden)])
+            .background([bg()])
+            .run()
+            .mean_slowdown()
+    };
+    let known = slowdown(false);
+    let blind = slowdown(true);
+    assert!((known - blind).abs() < 1e-9, "stable parallelism: Case 1 == Case 2.1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small workloads always drain under every policy, and the
+    /// slot-time integral exactly accounts every slot-second.
+    #[test]
+    fn random_workloads_drain_and_account(
+        seed in 0u64..1000,
+        phases in 1u32..4,
+        parallelism in 1u32..10,
+        bg_tasks in 1u32..30,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = match policy_idx {
+            0 => PolicyConfig::WorkConserving,
+            1 => PolicyConfig::Timeout(SimDuration::from_secs(10)),
+            2 => PolicyConfig::ssr_strict(),
+            _ => PolicyConfig::ssr_strict_with_stragglers(),
+        };
+        let fg = pareto_pipeline("fg", phases, parallelism, 0.5, 1.5, Priority::new(10)).unwrap();
+        let bg = map_only("bg", bg_tasks, constant(3.0), Priority::new(0)).unwrap();
+        let report = Simulation::new(
+            quick_config(2, 3, seed),
+            policy,
+            OrderConfig::FifoPriority,
+            vec![fg, bg],
+        )
+        .run();
+        prop_assert!(report.completed);
+        let total = report.busy_slot_secs + report.reserved_idle_slot_secs + report.free_slot_secs;
+        let expected = 6.0 * report.makespan_secs;
+        prop_assert!((total - expected).abs() < 1e-6,
+            "slot-time integral {total} != {expected}");
+        // Locality placements count exactly the instances that ran to
+        // completion or were killed.
+        let placements: u64 = report.locality_counts.iter().sum();
+        prop_assert!(placements >= u64::from(phases * parallelism + bg_tasks));
+    }
+
+    /// Priority isolation under SSR: for any skewed foreground pipeline,
+    /// the contended JCT stays within 35% of running alone.
+    #[test]
+    fn ssr_bounds_foreground_slowdown(
+        seed in 0u64..200,
+        phases in 2u32..5,
+    ) {
+        let fg = pareto_pipeline("fg", phases, 6, 1.0, 1.4, Priority::new(10)).unwrap();
+        let bg = map_only("bg", 36, constant(50.0), Priority::new(0)).unwrap();
+        let outcome = Experiment::new(
+            quick_config(2, 3, seed),
+            PolicyConfig::ssr_strict(),
+            OrderConfig::FifoPriority,
+        )
+        .foreground([fg])
+        .background([bg])
+        .run();
+        let s = outcome.mean_slowdown();
+        prop_assert!(s < 1.35, "seed {seed}, {phases} phases: slowdown {s}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration tests pinning the paper's in-text quantitative claims
+//! (shape, not absolute numbers — see EXPERIMENTS.md).
+
+use ssr::analytics::straggler::mitigation_study;
+use ssr::analytics::tradeoff::{
+    deadline_for_isolation, isolation_probability, utilization_bound_for_isolation,
+};
+use ssr::prelude::*;
+use ssr::simcore::dist::constant;
+use ssr::workload::synthetic::{map_only, pareto_pipeline};
+
+/// §IV-C / Fig. 10: "For typical production workloads with alpha = 1.6,
+/// straggler mitigation reduces the job completion time by over 50%."
+#[test]
+fn claim_fig10_over_half_reduction_at_alpha_16() {
+    let study = mitigation_study(1.6, 200, 500, 1).unwrap();
+    assert!(study.reduction() > 0.5, "got {}", study.reduction());
+}
+
+/// §VI-B / Fig. 17: "our straggler mitigation strategy significantly
+/// reduces the JCT by 73% on average" (alpha = 1.6). The closed-form
+/// study should land in the same region.
+#[test]
+fn claim_fig17_region_at_alpha_16() {
+    let study = mitigation_study(1.6, 100, 1000, 2).unwrap();
+    let r = study.reduction();
+    assert!((0.55..0.95).contains(&r), "reduction {r} far from the paper's 73%");
+}
+
+/// §IV-B: the two extremes of Eq. (4) — strict isolation costs everything,
+/// no isolation costs nothing.
+#[test]
+fn claim_eq4_extremes() {
+    assert!(utilization_bound_for_isolation(1.0, 1.6, 20).unwrap().abs() < 1e-12);
+    assert!((utilization_bound_for_isolation(0.0, 1.6, 20).unwrap() - 1.0).abs() < 1e-12);
+}
+
+/// §IV-B: the operator knob — a requested isolation level round-trips
+/// through the deadline formula, and Monte-Carlo phase completions agree
+/// with the analytic probability.
+#[test]
+fn claim_deadline_knob_matches_monte_carlo() {
+    use ssr::simcore::dist::{Distribution, Pareto};
+    use ssr::simcore::rng::SimRng;
+    let (t_m, alpha, n, p) = (2.0, 1.6, 20u32, 0.7);
+    let d = deadline_for_isolation(p, t_m, alpha, n).unwrap();
+    assert!((isolation_probability(d, t_m, alpha, n).unwrap() - p).abs() < 1e-9);
+    // Monte-Carlo: fraction of phases whose max duration is below d.
+    let pareto = Pareto::new(t_m, alpha).unwrap();
+    let mut rng = SimRng::seed_from_u64(3);
+    let runs = 20_000;
+    let effective = (0..runs)
+        .filter(|_| (0..n).all(|_| pareto.sample(&mut rng) <= d))
+        .count() as f64
+        / runs as f64;
+    assert!((effective - p).abs() < 0.02, "monte-carlo {effective} vs analytic {p}");
+}
+
+/// §I / §VI-A: "high-priority jobs only experience a slight scheduling
+/// latency < 10% when contending with the background workloads" — the
+/// simulated counterpart at matching contention levels.
+#[test]
+fn claim_ssr_isolation_under_contention() {
+    let fg = pareto_pipeline("fg", 5, 8, 1.0, 1.4, Priority::new(10)).unwrap();
+    let bg = map_only("bg", 64, constant(45.0), Priority::new(0)).unwrap();
+    let outcome = Experiment::new(
+        SimConfig::new(ClusterSpec::new(4, 2).unwrap()).with_seed(23),
+        PolicyConfig::ssr_strict(),
+        OrderConfig::FifoPriority,
+    )
+    .foreground([fg])
+    .background([bg])
+    .run();
+    assert!(
+        outcome.mean_slowdown() < 1.10,
+        "SSR slowdown {} breaches the paper's 10% bound",
+        outcome.mean_slowdown()
+    );
+}
+
+/// §II-B: the same scenario *without* SSR shows the severe isolation
+/// failure that motivates the paper.
+#[test]
+fn claim_work_conservation_fails_isolation() {
+    let fg = pareto_pipeline("fg", 5, 8, 1.0, 1.4, Priority::new(10)).unwrap();
+    let bg = map_only("bg", 64, constant(45.0), Priority::new(0)).unwrap();
+    let outcome = Experiment::new(
+        SimConfig::new(ClusterSpec::new(4, 2).unwrap()).with_seed(23),
+        PolicyConfig::WorkConserving,
+        OrderConfig::FifoPriority,
+    )
+    .foreground([fg])
+    .background([bg])
+    .run();
+    assert!(
+        outcome.mean_slowdown() > 2.0,
+        "work conservation should fail hard, got {}",
+        outcome.mean_slowdown()
+    );
+}
+
+/// §VI-B: "for background jobs, the average slowdown due to speculative
+/// slot reservation is less than 0.1%" — checked as "no material change"
+/// in an under-subscribed cluster.
+#[test]
+fn claim_background_essentially_unaffected() {
+    let fg = pareto_pipeline("fg", 4, 8, 1.0, 1.4, Priority::new(10)).unwrap();
+    // Light background: the cluster is under-subscribed, as in the paper's
+    // 4000-slot simulation.
+    let bg: Vec<_> = (0..6)
+        .map(|i| {
+            let mut spec = map_only(format!("bg-{i}"), 10, constant(15.0), Priority::new(0))
+                .unwrap();
+            spec = ssr::dag::JobSpecBuilder::new(spec.name())
+                .priority(spec.priority())
+                .arrival(SimTime::from_secs(i * 20))
+                .stage("map", 10, constant(15.0))
+                .build()
+                .unwrap();
+            spec
+        })
+        .collect();
+    let mean_bg = |policy: PolicyConfig| {
+        let mut jobs = vec![fg.clone()];
+        jobs.extend(bg.clone());
+        Simulation::new(
+            SimConfig::new(ClusterSpec::new(16, 4).unwrap()).with_seed(31),
+            policy,
+            OrderConfig::FifoPriority,
+            jobs,
+        )
+        .run()
+        .mean_jct_at_priority(Priority::new(0))
+        .expect("background finishes")
+    };
+    let wc = mean_bg(PolicyConfig::WorkConserving);
+    let ssr = mean_bg(PolicyConfig::ssr_strict());
+    assert!(
+        (ssr / wc - 1.0).abs() < 0.05,
+        "background JCT changed materially: {wc} -> {ssr}"
+    );
+}
+
+/// §III-B Case 2.3 / Fig. 16: pre-reservation lets a widening downstream
+/// phase start immediately.
+#[test]
+fn claim_prereservation_accommodates_wider_phase() {
+    // up: 4 skewed tasks, down: 8 tasks, on 8 slots with a lower-priority
+    // backlog of 20 s tasks. The skew opens a window between the
+    // R-threshold crossing and the barrier in which freed background slots
+    // can be pre-reserved; without pre-reservation those slots go back to
+    // the background (delay scheduling makes the foreground refuse them at
+    // first), and the wider downstream phase starts short of slots.
+    let fg = ssr::dag::JobSpecBuilder::new("fg")
+        .priority(Priority::new(10))
+        .stage("up", 2, ssr::simcore::dist::uniform(4.0, 60.0))
+        .stage("down", 8, constant(20.0))
+        .chain()
+        .build()
+        .unwrap();
+    let bg = map_only("bg", 64, constant(15.0), Priority::new(0)).unwrap();
+    let jct = |r: f64| {
+        Experiment::new(
+            SimConfig::new(ClusterSpec::new(4, 2).unwrap()).with_seed(37),
+            PolicyConfig::ssr_with_prereserve_threshold(r),
+            OrderConfig::FifoPriority,
+        )
+        .foreground([fg.clone()])
+        .background([bg.clone()])
+        .run()
+        .slowdown_of("fg")
+        .expect("fg measured")
+        .slowdown
+    };
+    let early = jct(0.2);
+    let never = jct(1.0);
+    assert!(
+        early <= never,
+        "early pre-reservation must not lose to none: {early} > {never}"
+    );
+}

@@ -1,0 +1,279 @@
+//! Property tests of the scheduler's core invariants, driving the
+//! `TaskScheduler` state machine directly with randomized workloads and
+//! event orders:
+//!
+//! 1. a slot never runs two tasks at once (no double booking),
+//! 2. a reserved slot never executes a task of a strictly lower priority
+//!    than its reservation,
+//! 3. the work-conserving policy never leaves a slot idle while a
+//!    runnable task is backlogged,
+//! 4. every task of every job runs to completion exactly once,
+//! 5. no reservation survives its job.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use ssr::cluster::{ClusterSpec, LocalityModel, SlotId};
+use ssr::core::SpeculativeReservation;
+use ssr::dag::{JobSpecBuilder, Priority};
+use ssr::prelude::*;
+use ssr::scheduler::{ReservationPolicy, TaskScheduler, WorkConserving};
+use ssr::simcore::dist::constant;
+use ssr::simcore::rng::SimRng;
+
+/// A randomized multi-job workload description.
+#[derive(Debug, Clone)]
+struct WorkloadSpec {
+    jobs: Vec<(u32 /* phases */, u32 /* parallelism */, i32 /* priority */)>,
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    proptest::collection::vec((1u32..4, 1u32..5, 0i32..3), 1..5)
+        .prop_map(|jobs| WorkloadSpec { jobs })
+}
+
+/// Drives the scheduler to completion by always finishing the
+/// longest-running (or rng-chosen) instance next; checks invariants at
+/// every step. Returns the per-job completed task counts.
+fn drive(
+    mut sched: TaskScheduler,
+    expect_work_conserving: bool,
+    seed: u64,
+) -> HashMap<u64, u64> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut completed: HashMap<u64, u64> = HashMap::new();
+    let mut now_us: u64 = 0;
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        assert!(steps < 10_000, "scheduler did not drain");
+        let assignments = sched.resource_offers(SimTime::from_micros(now_us));
+
+        // Invariant 2: an assignment onto a previously reserved slot must
+        // have been approved — we verify the consequence: the running task
+        // per slot is unique (slot table enforces) and snapshots are
+        // consistent.
+        let (free, running, reserved) = sched.slot_table().counts();
+        assert_eq!(
+            free + running + reserved,
+            sched.slot_table().len(),
+            "slot accounting broken"
+        );
+
+        // Invariant 3: work conservation — no free slot while some job has
+        // a pending task (locality wait disabled in these runs).
+        if expect_work_conserving {
+            let pending: u64 = sched
+                .jobs()
+                .iter()
+                .filter(|j| !j.is_complete())
+                .flat_map(|j| j.active_tasksets())
+                .map(|t| t.pending_count() as u64)
+                .sum();
+            if pending > 0 {
+                assert_eq!(
+                    sched.slot_table().free_slots().count(),
+                    0,
+                    "work-conserving left {pending} tasks backlogged with free slots"
+                );
+            }
+        }
+
+        let running_slots: Vec<SlotId> = sched.running_instances().map(|(s, _)| s).collect();
+        if running_slots.is_empty() {
+            assert!(assignments.is_empty(), "assignments without running instances");
+            break;
+        }
+        // Finish a random running instance; time advances strictly.
+        now_us += 1 + rng.next_below(1_000_000);
+        let victim = running_slots[rng.index(running_slots.len())];
+        let outcome = sched.task_finished(victim, SimTime::from_micros(now_us));
+        *completed.entry(outcome.instance.task.job.as_u64()).or_insert(0) += 1;
+    }
+    completed
+}
+
+fn build_scheduler(
+    spec: &WorkloadSpec,
+    policy: Box<dyn ReservationPolicy>,
+) -> (TaskScheduler, Vec<u64>) {
+    let mut sched = TaskScheduler::new(
+        ClusterSpec::new(2, 3).expect("valid cluster"),
+        LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+        policy,
+        Box::new(ssr::scheduler::FifoPriority),
+    );
+    let mut expected = Vec::new();
+    for (i, &(phases, parallelism, priority)) in spec.jobs.iter().enumerate() {
+        let mut b = JobSpecBuilder::new(format!("job{i}")).priority(Priority::new(priority));
+        for p in 0..phases {
+            b = b.stage(format!("s{p}"), parallelism, constant(1.0));
+        }
+        let job = b.chain().build().expect("valid job");
+        expected.push(job.total_tasks());
+        sched.submit(job, SimTime::ZERO);
+    }
+    (sched, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work-conserving: drains, conserves work, every task completes once.
+    #[test]
+    fn work_conserving_invariants(spec in workload_strategy(), seed in 0u64..10_000) {
+        let (sched, expected) = build_scheduler(&spec, Box::new(WorkConserving));
+        let completed = drive(sched, true, seed);
+        for (i, &total) in expected.iter().enumerate() {
+            prop_assert_eq!(
+                completed.get(&(i as u64)).copied().unwrap_or(0),
+                total,
+                "job{} task count", i
+            );
+        }
+    }
+
+    /// SSR: drains, completes every task exactly once, and leaks no
+    /// reservations once all jobs finish.
+    #[test]
+    fn ssr_invariants(spec in workload_strategy(), seed in 0u64..10_000) {
+        let (sched, expected) = build_scheduler(
+            &spec,
+            Box::new(SpeculativeReservation::new()),
+        );
+        // Keep a second handle to inspect after draining: drive consumes
+        // nothing, it returns the scheduler implicitly via closure... we
+        // re-create to keep the API simple and inspect a fresh drain.
+        let (sched2, _) = build_scheduler(&spec, Box::new(SpeculativeReservation::new()));
+        let completed = drive(sched, false, seed);
+        for (i, &total) in expected.iter().enumerate() {
+            prop_assert_eq!(
+                completed.get(&(i as u64)).copied().unwrap_or(0),
+                total,
+                "job{} task count", i
+            );
+        }
+        // Drain again and check the final slot table directly.
+        let mut sched2 = sched2;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut now_us = 0u64;
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            prop_assert!(steps < 10_000);
+            sched2.resource_offers(SimTime::from_micros(now_us));
+            let running: Vec<SlotId> = sched2.running_instances().map(|(s, _)| s).collect();
+            if running.is_empty() {
+                break;
+            }
+            now_us += 1 + rng.next_below(1_000_000);
+            let victim = running[rng.index(running.len())];
+            sched2.task_finished(victim, SimTime::from_micros(now_us));
+        }
+        prop_assert!(!sched2.has_unfinished_jobs());
+        let (free, running, reserved) = sched2.slot_table().counts();
+        prop_assert_eq!((free, running, reserved), (6, 0, 0), "reservations leaked");
+    }
+
+    /// Reserved slots protect priority: while a high-priority two-phase
+    /// job holds reservations, no lower-priority task ever starts on them.
+    #[test]
+    fn reservations_respect_priority(seed in 0u64..10_000, bg_tasks in 1u32..12) {
+        let mut sched = TaskScheduler::new(
+            ClusterSpec::new(1, 4).expect("valid cluster"),
+            LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+            Box::new(SpeculativeReservation::new()),
+            Box::new(ssr::scheduler::FifoPriority),
+        );
+        let fg = JobSpecBuilder::new("fg")
+            .priority(Priority::new(10))
+            .stage("up", 4, constant(1.0))
+            .stage("down", 4, constant(1.0))
+            .chain()
+            .build()
+            .expect("valid job");
+        let bg = JobSpecBuilder::new("bg")
+            .priority(Priority::new(0))
+            .stage("map", bg_tasks, constant(1.0))
+            .build()
+            .expect("valid job");
+        let fg_id = sched.submit(fg, SimTime::ZERO);
+        sched.submit(bg, SimTime::ZERO);
+
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut now_us = 0u64;
+        let mut steps = 0;
+        while sched.has_unfinished_jobs() {
+            steps += 1;
+            prop_assert!(steps < 1000);
+            // Core invariant: a slot reserved for fg before the offer
+            // round must never be handed to the lower-priority job
+            // (nothing outranks fg here, so only fg may consume them).
+            let reserved_before: std::collections::HashSet<SlotId> =
+                sched.slot_table().reserved_for(fg_id).collect();
+            let assignments = sched.resource_offers(SimTime::from_micros(now_us));
+            for a in &assignments {
+                if a.instance.task.job != fg_id {
+                    prop_assert!(
+                        !reserved_before.contains(&a.slot),
+                        "bg task placed on {} which was reserved for fg",
+                        a.slot
+                    );
+                }
+            }
+            let running: Vec<SlotId> = sched.running_instances().map(|(s, _)| s).collect();
+            if running.is_empty() {
+                break;
+            }
+            now_us += 1 + rng.next_below(500_000);
+            let victim = running[rng.index(running.len())];
+            sched.task_finished(victim, SimTime::from_micros(now_us));
+        }
+        // After fg completes, its reservations are gone.
+        prop_assert_eq!(sched.slot_table().reserved_for(fg_id).count(), 0);
+    }
+}
+
+/// Deterministic regression: the §II-B "case 1" scenario — the freed slot
+/// goes to the backlogged job and the barrier waits for it.
+#[test]
+fn regression_barrier_gives_up_slot_exact_timing() {
+    let mut sched = TaskScheduler::new(
+        ClusterSpec::new(1, 2).unwrap(),
+        LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+        Box::new(WorkConserving),
+        Box::new(ssr::scheduler::FifoPriority),
+    );
+    let fg = JobSpecBuilder::new("fg")
+        .priority(Priority::new(10))
+        .stage("up", 2, constant(1.0))
+        .stage("down", 2, constant(1.0))
+        .chain()
+        .build()
+        .unwrap();
+    let bg = JobSpecBuilder::new("bg")
+        .priority(Priority::new(0))
+        .stage("map", 1, constant(100.0))
+        .build()
+        .unwrap();
+    let fg_id = sched.submit(fg, SimTime::ZERO);
+    let bg_id = sched.submit(bg, SimTime::ZERO);
+    let a = sched.resource_offers(SimTime::ZERO);
+    assert_eq!(a.len(), 2);
+    assert!(a.iter().all(|x| x.instance.task.job == fg_id));
+
+    // First up task finishes at t=1: slot goes to bg (work conservation).
+    sched.task_finished(a[0].slot, SimTime::from_secs(1));
+    let b = sched.resource_offers(SimTime::from_secs(1));
+    assert_eq!(b.len(), 1);
+    assert_eq!(b[0].instance.task.job, bg_id);
+
+    // Second up task finishes at t=2: barrier cleared, but only one slot
+    // is available — the other is held by the 100 s bg task.
+    sched.task_finished(a[1].slot, SimTime::from_secs(2));
+    let c = sched.resource_offers(SimTime::from_secs(2));
+    assert_eq!(c.len(), 1);
+    assert_eq!(c[0].instance.task.job, fg_id);
+    assert_eq!(sched.running_count_for(fg_id), 1, "half the phase is starved");
+    assert_eq!(sched.running_count_for(bg_id), 1);
+}
