@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint. Everything runs offline — external
+# dependencies resolve to the stand-ins under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> ci.sh: all green"

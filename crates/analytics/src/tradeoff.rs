@@ -97,7 +97,7 @@ pub fn deadline_for_isolation(p: f64, t_m: f64, alpha: f64, n: u32) -> Result<f6
 pub fn utilization_bound_for_deadline(d: f64, t_m: f64, alpha: f64) -> Result<f64, ModelError> {
     check_scale(t_m)?;
     check_shape(alpha)?;
-    if !(d >= t_m) {
+    if d.is_nan() || d < t_m {
         return Err(ModelError::new(format!(
             "deadline {d} must be at least the scale parameter {t_m}"
         )));
@@ -136,7 +136,7 @@ pub fn utilization_bound_for_isolation(p: f64, alpha: f64, n: u32) -> Result<f64
 pub fn utilization_exact_for_deadline(d: f64, t_m: f64, alpha: f64) -> Result<f64, ModelError> {
     check_scale(t_m)?;
     check_shape(alpha)?;
-    if !(d >= t_m) {
+    if d.is_nan() || d < t_m {
         return Err(ModelError::new(format!(
             "deadline {d} must be at least the scale parameter {t_m}"
         )));

@@ -3,47 +3,107 @@
 //! Usage:
 //!
 //! ```text
-//! figures all            # every figure, in paper order
-//! figures fig08 fig10    # selected figures
-//! figures --list         # available ids
+//! figures all                # every figure, in paper order
+//! figures fig08 fig10        # selected figures
+//! figures --list             # available ids
+//! figures all --jobs 4       # run on exactly 4 worker threads
+//! figures all --timing       # per-figure wall-clock stats on stderr
 //! ```
 //!
 //! Figures driven by the simulator run at a scaled-down default; set
 //! `SSR_FULL=1` for paper-scale runs (slower).
+//!
+//! Independent simulations fan out across a worker pool sized by `--jobs`,
+//! the `SSR_JOBS` environment variable, or the machine's available
+//! parallelism (in that precedence order). Results are merged
+//! deterministically: stdout is byte-identical at every worker count.
+//! Timing output goes to stderr only, so it never perturbs that guarantee.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use ssr_bench::figures;
 
+struct Args {
+    ids: Vec<String>,
+    list: bool,
+    timing: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut list = false;
+    let mut timing = false;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--timing" => timing = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs requires a value")?;
+                jobs = Some(v.parse().map_err(|_| format!("bad --jobs value: {v}"))?);
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    ssr_sim::runner::set_worker_override(jobs);
+    Ok(Args { ids, list, timing })
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: figures <all | --list | fig-id...>");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <all | --list | fig-id...> [--jobs N] [--timing]");
         eprintln!("known ids: {}", figures::ALL.join(" "));
         return ExitCode::from(2);
     }
-    if args.iter().any(|a| a == "--list") {
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
         for id in figures::ALL {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let ids: Vec<&str> = if args.ids.iter().any(|a| a == "all") {
         figures::ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        args.ids.iter().map(String::as_str).collect()
     };
-    for id in ids {
-        match figures::run(id) {
+    // Figures are independent of one another: run them all on the worker
+    // pool, then print in request order.
+    let started = Instant::now();
+    let rendered = ssr_sim::par_map(ssr_sim::worker_count(), &ids, |id| {
+        let figure_started = Instant::now();
+        (figures::run(id), figure_started.elapsed().as_secs_f64())
+    });
+    for (id, (output, wall)) in ids.iter().zip(&rendered) {
+        match output {
             Some(output) => {
                 println!("==================================================================");
                 println!("{output}");
+                if args.timing {
+                    eprintln!("[timing] {id}: {wall:.2}s");
+                }
             }
             None => {
                 eprintln!("unknown figure id: {id} (known: {})", figures::ALL.join(" "));
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if args.timing {
+        eprintln!(
+            "[timing] total {:.2}s on {} worker(s)",
+            started.elapsed().as_secs_f64(),
+            ssr_sim::worker_count()
+        );
     }
     ExitCode::SUCCESS
 }

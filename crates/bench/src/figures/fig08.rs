@@ -24,25 +24,21 @@ pub fn run() -> String {
             format!("E[U] a=2.0 N={n}"),
             format!("E[U] a=2.4 N={n}"),
         ]);
-        let curves: Vec<Vec<f64>> = ALPHAS
-            .iter()
-            .map(|&a| {
+        // Closed-form but independent per alpha; evaluated on the worker
+        // pool and merged in alpha order like every other figure.
+        let curves: Vec<Vec<f64>> =
+            ssr_sim::par_map(ssr_sim::worker_count(), &ALPHAS, |&a| {
                 tradeoff_curve(a, n, POINTS)
                     .expect("valid parameters")
                     .into_iter()
                     .map(|p| p.utilization)
                     .collect()
-            })
-            .collect();
+            });
         for i in 0..POINTS {
             let p = i as f64 / (POINTS - 1) as f64;
-            table.row([
-                num(p),
-                num(curves[0][i]),
-                num(curves[1][i]),
-                num(curves[2][i]),
-                num(curves[3][i]),
-            ]);
+            let mut row = vec![num(p)];
+            row.extend(curves.iter().map(|curve| num(curve[i])));
+            table.row(row);
         }
         out.push_str(&table.render());
         out.push('\n');

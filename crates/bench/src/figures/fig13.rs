@@ -41,17 +41,20 @@ pub(crate) fn run_seeded(seed: u64) -> String {
     };
     let job2 = || map_only("job-2", 120, constant(30.0), Priority::new(0)).expect("valid job");
 
-    let run = |policy: PolicyConfig| -> SimReport {
-        Simulation::new(
-            cluster_sim(cluster, seed).track_jobs(["job-1", "job-2"]),
-            policy,
-            OrderConfig::Fair,
-            vec![job1(), job2()],
-        )
-        .run()
-    };
-    let without = run(PolicyConfig::WorkConserving);
-    let with = run(PolicyConfig::ssr_strict());
+    // The two policy runs are independent; run both on the worker pool.
+    let policies = [PolicyConfig::WorkConserving, PolicyConfig::ssr_strict()];
+    let mut reports: Vec<SimReport> =
+        ssr_sim::par_map(ssr_sim::worker_count(), &policies, |policy| {
+            Simulation::new(
+                cluster_sim(cluster, seed).track_jobs(["job-1", "job-2"]),
+                policy.clone(),
+                OrderConfig::Fair,
+                vec![job1(), job2()],
+            )
+            .run()
+        });
+    let with = reports.pop().expect("two reports");
+    let without = reports.pop().expect("two reports");
 
     let mut out = String::from(
         "Fig. 13 — fair scheduler allocations over time (8 slots, 2 jobs)\n\

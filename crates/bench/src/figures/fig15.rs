@@ -95,62 +95,69 @@ pub(crate) fn run_scaled(bg_jobs: u32, seed: u64) -> String {
         bg_jobs
     );
 
-    // Alone baselines per suite (policy-independent).
-    let mut bg_impact = Vec::new();
-    for setting in settings() {
-        let mut table = Table::new(["suite", "w/o SSR avg slowdown", "w/ SSR avg slowdown"]);
-        for (name, jobs) in suites() {
-            let alone: Vec<f64> = jobs
-                .iter()
-                .map(|j| {
-                    let config = SimConfig::new(cluster)
-                        .with_locality(setting.locality.clone())
-                        .with_seed(seed);
-                    Simulation::new(
-                        config,
-                        PolicyConfig::WorkConserving,
-                        OrderConfig::FifoPriority,
-                        vec![j.clone()],
-                    )
-                    .run()
-                    .jct_secs(j.name())
-                    .expect("foreground finishes alone")
-                })
-                .collect();
-            let mut row = vec![name.to_owned()];
-            let mut bg_mean = Vec::new();
-            for policy in [PolicyConfig::WorkConserving, PolicyConfig::ssr_strict()] {
-                let mut all = jobs.clone();
-                all.extend(background_jobs_large(bg_jobs, setting.bg_factor, horizon, seed));
-                let report = Simulation::new(
-                    SimConfig::new(cluster)
-                        .with_locality(setting.locality.clone())
-                        .with_seed(seed),
-                    policy,
+    // One independent cell per (setting, suite): its alone baselines plus
+    // the two contended runs. Cells fan out across the runner's worker
+    // pool and come back in input order, so the rendered tables are
+    // byte-identical at every worker count.
+    let settings = settings();
+    let suite_list = suites();
+    let cells: Vec<(usize, usize)> = (0..settings.len())
+        .flat_map(|s| (0..suite_list.len()).map(move |q| (s, q)))
+        .collect();
+    let rows = ssr_sim::par_map(ssr_sim::worker_count(), &cells, |&(si, qi)| {
+        let setting = &settings[si];
+        let (name, jobs) = &suite_list[qi];
+        // Alone baselines per suite (policy-independent).
+        let alone: Vec<f64> = jobs
+            .iter()
+            .map(|j| {
+                let config = SimConfig::new(cluster)
+                    .with_locality(setting.locality.clone())
+                    .with_seed(seed);
+                Simulation::new(
+                    config,
+                    PolicyConfig::WorkConserving,
                     OrderConfig::FifoPriority,
-                    all,
+                    vec![j.clone()],
                 )
-                .run();
-                let slowdowns: Vec<f64> = jobs
-                    .iter()
-                    .zip(&alone)
-                    .filter_map(|(j, &a)| report.jct_secs(j.name()).map(|c| c / a))
-                    .collect();
-                let avg = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
-                row.push(format!("{avg:.2}x"));
-                bg_mean.push(report.mean_jct_at_priority(BG_PRIORITY).unwrap_or(f64::NAN));
-            }
-            if setting.label.starts_with("(a)") && name == "mllib" {
-                bg_impact = bg_mean.clone();
-            }
-            table.row(row);
+                .run()
+                .jct_secs(j.name())
+                .expect("foreground finishes alone")
+            })
+            .collect();
+        let mut row = vec![(*name).to_owned()];
+        for policy in [PolicyConfig::WorkConserving, PolicyConfig::ssr_strict()] {
+            let mut all = jobs.clone();
+            all.extend(background_jobs_large(bg_jobs, setting.bg_factor, horizon, seed));
+            let report = Simulation::new(
+                SimConfig::new(cluster)
+                    .with_locality(setting.locality.clone())
+                    .with_seed(seed),
+                policy,
+                OrderConfig::FifoPriority,
+                all,
+            )
+            .run();
+            let slowdowns: Vec<f64> = jobs
+                .iter()
+                .zip(&alone)
+                .filter_map(|(j, &a)| report.jct_secs(j.name()).map(|c| c / a))
+                .collect();
+            let avg = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
+            row.push(format!("{avg:.2}x"));
+        }
+        row
+    });
+    for (si, setting) in settings.iter().enumerate() {
+        let mut table = Table::new(["suite", "w/o SSR avg slowdown", "w/ SSR avg slowdown"]);
+        for qi in 0..suite_list.len() {
+            table.row(rows[si * suite_list.len() + qi].clone());
         }
         out.push_str(setting.label);
         out.push('\n');
         out.push_str(&table.render());
         out.push('\n');
     }
-    let _ = bg_impact;
     // Background-impact check (§VI-B "Impact on the background workload"):
     // measured in the paper's regime — an under-subscribed cluster where
     // the foreground is a small fraction of capacity. At saturation, any
@@ -162,23 +169,21 @@ pub(crate) fn run_scaled(bg_jobs: u32, seed: u64) -> String {
     // (<= 5% here; ~0.5% at SSR_FULL scale).
     let ml = MllibParams::cluster().with_priority(FG_PRIORITY);
     let fg = vec![mllib::kmeans(&ml).expect("valid template")];
-    let mut reports = Vec::new();
     // Only the foreground opts into reservations, as in the paper's
     // deployment (isolation is a per-user service).
     let fg_only = PolicyConfig::ssr_foreground_only(FG_PRIORITY.level());
-    for policy in [PolicyConfig::WorkConserving, fg_only] {
+    let policies = [PolicyConfig::WorkConserving, fg_only];
+    let reports = ssr_sim::par_map(ssr_sim::worker_count(), &policies, |policy| {
         let mut all = fg.clone();
         all.extend(background_jobs_large(moderate_bg, 1.0, horizon, seed));
-        reports.push(
-            Simulation::new(
-                SimConfig::new(cluster).with_seed(seed),
-                policy,
-                OrderConfig::FifoPriority,
-                all,
-            )
-            .run(),
-        );
-    }
+        Simulation::new(
+            SimConfig::new(cluster).with_seed(seed),
+            policy.clone(),
+            OrderConfig::FifoPriority,
+            all,
+        )
+        .run()
+    });
     // Per-job slowdown ratio (SSR JCT / work-conserving JCT), paired by
     // name — the paper's "average slowdown due to speculative slot
     // reservation" for background jobs. A ratio of means would instead be
@@ -221,5 +226,18 @@ mod tests {
             assert!(ssr <= wc * 1.1 + 0.1, "SSR materially worse on: {line}");
         }
         assert!(out.contains("background impact"));
+    }
+
+    #[test]
+    fn output_is_byte_identical_across_worker_counts() {
+        // The acceptance property of the parallel runner, pinned at a
+        // CI-friendly scale: the rendered figure is the same string no
+        // matter how many workers computed its cells.
+        ssr_sim::runner::set_worker_override(Some(1));
+        let sequential = super::run_scaled(12, 5);
+        ssr_sim::runner::set_worker_override(Some(8));
+        let parallel = super::run_scaled(12, 5);
+        ssr_sim::runner::set_worker_override(None);
+        assert_eq!(sequential, parallel, "fig15 output depends on the worker count");
     }
 }

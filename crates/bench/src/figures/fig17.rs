@@ -40,23 +40,31 @@ pub(crate) fn run_scaled(bg_jobs: u32, parallelism: u32, seed: u64) -> String {
     let cluster = large_cluster();
     let mut table = Table::new(["alpha", "JCT w/o mitigation (s)", "JCT w/ mitigation (s)", "reduction"]);
     let mut at_16 = 0.0;
-    for &alpha in &ALPHAS {
-        let fg = || refit_pipeline("fg", alpha, parallelism);
-        let jct = |policy: PolicyConfig| -> f64 {
-            let mut jobs = vec![fg()];
-            jobs.extend(background_jobs_large(
-                bg_jobs,
-                1.0,
-                SimDuration::from_secs(1800),
-                seed,
-            ));
-            Simulation::new(SimConfig::new(cluster).with_seed(seed), policy, OrderConfig::FifoPriority, jobs)
-                .run()
-                .jct_secs("fg")
-                .expect("foreground finishes")
+    // Every (alpha, policy) cell is an independent simulation: fan all ten
+    // out across the runner's worker pool and merge back in alpha order.
+    let tasks: Vec<(f64, bool)> =
+        ALPHAS.iter().flat_map(|&alpha| [(alpha, false), (alpha, true)]).collect();
+    let jcts = ssr_sim::par_map(ssr_sim::worker_count(), &tasks, |&(alpha, mitigate)| {
+        let policy = if mitigate {
+            PolicyConfig::ssr_strict_with_stragglers()
+        } else {
+            PolicyConfig::ssr_strict()
         };
-        let without = jct(PolicyConfig::ssr_strict());
-        let with = jct(PolicyConfig::ssr_strict_with_stragglers());
+        let mut jobs = vec![refit_pipeline("fg", alpha, parallelism)];
+        jobs.extend(background_jobs_large(
+            bg_jobs,
+            1.0,
+            SimDuration::from_secs(1800),
+            seed,
+        ));
+        Simulation::new(SimConfig::new(cluster).with_seed(seed), policy, OrderConfig::FifoPriority, jobs)
+            .run()
+            .jct_secs("fg")
+            .expect("foreground finishes")
+    });
+    for (i, &alpha) in ALPHAS.iter().enumerate() {
+        let without = jcts[2 * i];
+        let with = jcts[2 * i + 1];
         let reduction = 1.0 - with / without;
         if (alpha - 1.6).abs() < 1e-9 {
             at_16 = reduction;

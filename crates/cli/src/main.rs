@@ -68,6 +68,8 @@ fn usage() {
          \x20 --fg SPEC            foreground workload (repeatable, measured)\n\
          \x20 --bg SPEC            background workload (repeatable)\n\
          \x20 --seed N             RNG seed (default 0)\n\
+         \x20 --jobs N             worker threads for independent runs\n\
+         \x20                      (default: SSR_JOBS env var, then all cores)\n\
          \x20 --json               emit the report as JSON\n\
          \n\
          SPEC: kmeans|svm|pagerank[:par=8,iters=4,prio=10,...]\n\
@@ -78,6 +80,7 @@ fn usage() {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let options = RunOptions::parse(args).map_err(|e| e.to_string())?;
+    ssr_sim::runner::set_worker_override(options.jobs);
     let mut foreground = Vec::new();
     for s in &options.foreground {
         foreground.extend(spec::parse(s).map_err(|e| e.to_string())?);

@@ -45,6 +45,9 @@ pub struct RunOptions {
     pub speculation: Option<SpeculationConfig>,
     /// Emit the full report as JSON instead of tables.
     pub json: bool,
+    /// Worker threads for the parallel trial runner (`None` = `SSR_JOBS`
+    /// or the machine's available parallelism).
+    pub jobs: Option<usize>,
 }
 
 impl RunOptions {
@@ -70,6 +73,7 @@ impl RunOptions {
         let mut background = Vec::new();
         let mut speculation = None;
         let mut json = false;
+        let mut jobs = None;
 
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -130,6 +134,11 @@ impl RunOptions {
                 "--bg" => background.push(value("--bg")?),
                 "--speculation" => speculation = Some(SpeculationConfig::spark_defaults()),
                 "--json" => json = true,
+                "--jobs" => {
+                    jobs = Some(
+                        value("--jobs")?.parse().map_err(|_| err("--jobs wants a thread count"))?,
+                    )
+                }
                 other => return Err(err(format!("unknown flag {other}"))),
             }
         }
@@ -199,6 +208,7 @@ impl RunOptions {
             background,
             speculation,
             json,
+            jobs,
         })
     }
 }
@@ -221,6 +231,14 @@ mod tests {
         assert_eq!(o.seed, 0);
         assert!(!o.json);
         assert!(o.speculation.is_none());
+        assert_eq!(o.jobs, None);
+    }
+
+    #[test]
+    fn jobs_flag() {
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, Some(4));
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--jobs"]).is_err(), "missing value");
     }
 
     #[test]

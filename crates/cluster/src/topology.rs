@@ -206,7 +206,7 @@ impl ClusterSpec {
     pub fn slot_size(&self, slot: SlotId) -> u32 {
         assert!(slot.as_u32() < self.total_slots(), "{slot} out of range");
         match self.sizing {
-            Some(s) if slot.as_u32() % s.large_every == 0 => s.large,
+            Some(s) if slot.as_u32().is_multiple_of(s.large_every) => s.large,
             Some(s) => s.small,
             None => 1,
         }

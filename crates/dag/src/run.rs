@@ -315,8 +315,8 @@ mod proptests {
             edges in proptest::collection::vec((0u32..8, 0u32..8), 0..20),
         ) {
             let mut b = JobSpecBuilder::new("drain");
-            for i in 0..n {
-                b = b.stage(format!("s{i}"), par[i], constant(1.0));
+            for (i, &p) in par.iter().enumerate().take(n) {
+                b = b.stage(format!("s{i}"), p, constant(1.0));
             }
             for (a, d) in edges {
                 let (a, d) = (a % n as u32, d % n as u32);

@@ -284,7 +284,7 @@ impl TaskScheduler {
                     continue;
                 }
                 let rank = (level, class, slot);
-                if best.map_or(true, |b| rank < b) {
+                if best.is_none_or(|b| rank < b) {
                     best = Some(rank);
                 }
             }

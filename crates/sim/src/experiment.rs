@@ -166,6 +166,14 @@ pub struct ExperimentOutcome {
     pub foreground: Vec<SlowdownRow>,
     /// The full contended-run report.
     pub contended: SimReport,
+    /// Events processed across the contended run and every alone
+    /// baseline. Deterministic per seed.
+    pub events_processed: u64,
+    /// Wall-clock seconds the whole experiment took. Excluded from
+    /// serialization so outcomes stay byte-identical across runs and
+    /// worker counts.
+    #[serde(skip)]
+    pub wall_secs: f64,
 }
 
 impl ExperimentOutcome {
@@ -224,6 +232,26 @@ impl Experiment {
         self.sim_config.cluster()
     }
 
+    /// Re-seeds the underlying simulation — the hook the trial runner uses
+    /// to give each repetition of a grid its own RNG stream.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim_config = self.sim_config.with_seed(seed);
+        self
+    }
+
+    /// Runs one foreground job alone (work-conserving — reservations are
+    /// irrelevant without contention) and returns the full report.
+    fn alone_report(&self, job: &JobSpec) -> SimReport {
+        Simulation::new(
+            self.sim_config.clone(),
+            PolicyConfig::WorkConserving,
+            self.order,
+            vec![job.clone()],
+        )
+        .run()
+    }
+
     /// Runs one foreground job alone (work-conserving — reservations are
     /// irrelevant without contention) and returns its JCT in seconds.
     ///
@@ -231,14 +259,7 @@ impl Experiment {
     ///
     /// Panics if the job does not finish within the horizon.
     pub fn run_alone(&self, job: &JobSpec) -> f64 {
-        let report = Simulation::new(
-            self.sim_config.clone(),
-            PolicyConfig::WorkConserving,
-            self.order,
-            vec![job.clone()],
-        )
-        .run();
-        report
+        self.alone_report(job)
             .jct_secs(job.name())
             .unwrap_or_else(|| panic!("job {} did not finish alone", job.name()))
     }
@@ -251,18 +272,31 @@ impl Experiment {
     }
 
     /// Runs the complete experiment: alone baselines + contended run +
-    /// slowdowns.
+    /// slowdowns. The per-job alone baselines are independent simulations
+    /// and fan out across the runner's worker pool; results are merged in
+    /// foreground order, so the outcome is identical at any worker count.
     ///
     /// # Panics
     ///
     /// Panics if a foreground job fails to finish in either setting.
     pub fn run(&self) -> ExperimentOutcome {
+        let started = std::time::Instant::now();
         let contended = self.run_contended();
+        let alone_reports = crate::runner::par_map(
+            crate::runner::worker_count(),
+            &self.foreground,
+            |job| self.alone_report(job),
+        );
+        let mut events_processed = contended.events_processed;
         let foreground = self
             .foreground
             .iter()
-            .map(|job| {
-                let alone = self.run_alone(job);
+            .zip(&alone_reports)
+            .map(|(job, alone_report)| {
+                events_processed += alone_report.events_processed;
+                let alone = alone_report
+                    .jct_secs(job.name())
+                    .unwrap_or_else(|| panic!("job {} did not finish alone", job.name()));
                 let in_contention = contended.jct_secs(job.name()).unwrap_or_else(|| {
                     panic!("foreground job {} did not finish in contention", job.name())
                 });
@@ -274,7 +308,13 @@ impl Experiment {
                 }
             })
             .collect();
-        ExperimentOutcome { policy: self.policy.label(), foreground, contended }
+        ExperimentOutcome {
+            policy: self.policy.label(),
+            foreground,
+            contended,
+            events_processed,
+            wall_secs: started.elapsed().as_secs_f64(),
+        }
     }
 }
 

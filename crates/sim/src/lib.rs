@@ -38,8 +38,10 @@
 
 pub mod experiment;
 pub mod report;
+pub mod runner;
 pub mod simulation;
 
 pub use experiment::{Experiment, ExperimentOutcome, OrderConfig, PolicyConfig, SlowdownRow};
 pub use report::{JobResult, SimReport, TaskTraceRecord, TimeSample};
+pub use runner::{par_map, worker_count, GridStats, Trial, TrialGrid, TrialResult};
 pub use simulation::{SimConfig, Simulation};

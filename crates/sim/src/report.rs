@@ -98,6 +98,14 @@ pub struct SimReport {
     pub timeseries: Vec<TimeSample>,
     /// Per-instance execution trace (empty unless enabled).
     pub trace: Vec<TaskTraceRecord>,
+    /// Events processed by the run loop. Deterministic per seed, so it is
+    /// serialized and pinned by the determinism regression tests.
+    pub events_processed: u64,
+    /// Wall-clock seconds the run took. Machine- and load-dependent, so
+    /// it is excluded from serialization: serialized reports stay
+    /// byte-identical across runs and worker counts.
+    #[serde(skip)]
+    pub wall_secs: f64,
 }
 
 impl SimReport {
@@ -152,6 +160,7 @@ pub(crate) struct Collector {
     pub(crate) timeseries: Vec<TimeSample>,
     pub(crate) trace: Vec<TaskTraceRecord>,
     pub(crate) makespan: SimTime,
+    pub(crate) events_processed: u64,
 }
 
 impl Collector {
@@ -167,6 +176,7 @@ impl Collector {
             timeseries: Vec::new(),
             trace: Vec::new(),
             makespan: SimTime::ZERO,
+            events_processed: 0,
         }
     }
 }
@@ -215,6 +225,8 @@ mod tests {
             locality_counts: [5, 1, 0, 2],
             timeseries: vec![],
             trace: vec![],
+            events_processed: 12,
+            wall_secs: 0.0,
         }
     }
 

@@ -200,10 +200,12 @@ impl Simulation {
 
     /// Runs to completion (or the safety horizon) and returns the report.
     pub fn run(mut self) -> SimReport {
+        let started = std::time::Instant::now();
         while let Some((t, event)) = self.events.pop() {
             if t > self.horizon {
                 break;
             }
+            self.collector.events_processed += 1;
             self.integrate_to(t);
             self.now = t;
             match event {
@@ -248,7 +250,9 @@ impl Simulation {
                 break;
             }
         }
-        self.finish_report()
+        let mut report = self.finish_report();
+        report.wall_secs = started.elapsed().as_secs_f64();
+        report
     }
 
     /// Runs one resource-offer round and schedules the resulting finish,
@@ -298,7 +302,7 @@ impl Simulation {
         // Reservation-expiry wakeup.
         if let Some(expiry) = self.sched.next_reservation_expiry() {
             let wake = expiry.max(self.now);
-            if self.scheduled_expiry.map_or(true, |s| wake < s) {
+            if self.scheduled_expiry.is_none_or(|s| wake < s) {
                 self.events.push(wake, Event::ReservationExpiry);
                 self.scheduled_expiry = Some(wake);
             }
@@ -306,7 +310,7 @@ impl Simulation {
         // Delay-scheduling wakeup.
         if let Some(unlock) = self.sched.next_locality_unlock(self.now) {
             let wake = unlock.max(self.now);
-            if self.scheduled_unlock.map_or(true, |s| wake < s) {
+            if self.scheduled_unlock.is_none_or(|s| wake < s) {
                 self.events.push(wake, Event::LocalityUnlock);
                 self.scheduled_unlock = Some(wake);
             }
@@ -432,6 +436,8 @@ impl Simulation {
             locality_counts: self.collector.locality_counts,
             timeseries: self.collector.timeseries,
             trace: self.collector.trace,
+            events_processed: self.collector.events_processed,
+            wall_secs: 0.0,
         }
     }
 }

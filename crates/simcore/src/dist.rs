@@ -296,7 +296,7 @@ impl LogNormal {
     /// Returns [`InvalidDistributionError`] unless `mu` is finite and
     /// `sigma` is finite and non-negative.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, InvalidDistributionError> {
-        if !mu.is_finite() || !(sigma.is_finite() && sigma >= 0.0) {
+        if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
             return Err(InvalidDistributionError::new(format!(
                 "LogNormal requires finite mu and non-negative sigma, got mu={mu}, sigma={sigma}"
             )));
@@ -311,7 +311,7 @@ impl LogNormal {
     ///
     /// Returns [`InvalidDistributionError`] unless `mean > 0` and `cv >= 0`.
     pub fn with_mean_cv(mean: f64, cv: f64) -> Result<Self, InvalidDistributionError> {
-        if !(mean.is_finite() && mean > 0.0) || !(cv.is_finite() && cv >= 0.0) {
+        if !(mean.is_finite() && mean > 0.0 && cv.is_finite() && cv >= 0.0) {
             return Err(InvalidDistributionError::new(format!(
                 "LogNormal requires positive mean and non-negative cv, got mean={mean}, cv={cv}"
             )));

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Finish everything currently running one second later (constant
         // durations make this exact enough for a demo).
-        now = now + SimDuration::from_secs(1);
+        now += SimDuration::from_secs(1);
         let running: Vec<SlotId> = sched.running_instances().map(|(s, _)| s).collect();
         if running.is_empty() && assignments.is_empty() {
             break;

@@ -58,6 +58,9 @@ pub mod prelude {
     pub use ssr_core::{SpeculativeReservation, SsrConfig};
     pub use ssr_dag::{JobId, JobSpec, JobSpecBuilder, Priority, StageId};
     pub use ssr_scheduler::{Fair, FifoPriority, TaskScheduler, WorkConserving};
-    pub use ssr_sim::{Experiment, OrderConfig, PolicyConfig, SimConfig, SimReport, Simulation};
+    pub use ssr_sim::{
+        Experiment, ExperimentOutcome, OrderConfig, PolicyConfig, SimConfig, SimReport,
+        Simulation, TrialGrid, TrialResult,
+    };
     pub use ssr_simcore::{SimDuration, SimTime};
 }

@@ -8,7 +8,12 @@
 //! 3. the work-conserving policy never leaves a slot idle while a
 //!    runnable task is backlogged,
 //! 4. every task of every job runs to completion exactly once,
-//! 5. no reservation survives its job.
+//! 5. no reservation survives its job,
+//! 6. under speculation (status-quo progress-based and the paper's §IV-C
+//!    strategy alike) exactly one attempt of every task finishes and no
+//!    copy outlives the winning attempt,
+//! 7. per-trial RNG streams are pure functions of `(root_seed, index)`
+//!    and distinct indices draw from distinct streams.
 
 use std::collections::HashMap;
 
@@ -17,9 +22,10 @@ use ssr::cluster::{ClusterSpec, LocalityModel, SlotId};
 use ssr::core::SpeculativeReservation;
 use ssr::dag::{JobSpecBuilder, Priority};
 use ssr::prelude::*;
-use ssr::scheduler::{ReservationPolicy, TaskScheduler, WorkConserving};
+use ssr::scheduler::{ReservationPolicy, SpeculationConfig, TaskScheduler, WorkConserving};
 use ssr::simcore::dist::constant;
 use ssr::simcore::rng::SimRng;
+use ssr::workload::synthetic::pareto_pipeline;
 
 /// A randomized multi-job workload description.
 #[derive(Debug, Clone)]
@@ -276,4 +282,161 @@ fn regression_barrier_gives_up_slot_exact_timing() {
     assert_eq!(c[0].instance.task.job, fg_id);
     assert_eq!(sched.running_count_for(fg_id), 1, "half the phase is starved");
     assert_eq!(sched.running_count_for(bg_id), 1);
+}
+
+/// Checks the speculation invariants on a full simulation trace: per
+/// (job, stage, partition) exactly one attempt finishes, every kill
+/// happens the instant the winner completes, no attempt outlives the
+/// winner, and the report's copy/kill counters agree with the trace.
+/// Panics on violation (the proptest harness reports the inputs).
+fn assert_speculation_trace_invariants(report: &SimReport) {
+    assert!(report.completed, "run must drain before auditing its trace");
+    let mut groups: HashMap<(String, u32, u32), Vec<&ssr::sim::TaskTraceRecord>> = HashMap::new();
+    for r in &report.trace {
+        groups.entry((r.job.clone(), r.stage, r.partition)).or_default().push(r);
+    }
+    for ((job, stage, partition), attempts) in &groups {
+        let winners: Vec<_> = attempts.iter().filter(|r| r.outcome == "finished").collect();
+        assert_eq!(
+            winners.len(),
+            1,
+            "{job}/{stage}/{partition} must finish exactly once over {} attempts",
+            attempts.len()
+        );
+        let winner_end = winners[0].end_secs;
+        for r in attempts {
+            assert!(
+                r.end_secs <= winner_end + 1e-9,
+                "{job}/{stage}/{partition} attempt {} outlived the winner ({} > {winner_end})",
+                r.attempt,
+                r.end_secs
+            );
+            if r.outcome == "killed" {
+                assert!(
+                    (r.end_secs - winner_end).abs() < 1e-9,
+                    "{job}/{stage}/{partition} attempt {} was killed at {}, not at the \
+                     winner's finish {winner_end}",
+                    r.attempt,
+                    r.end_secs
+                );
+            }
+        }
+    }
+    let speculative = report.trace.iter().filter(|r| r.speculative).count() as u64;
+    assert_eq!(
+        speculative, report.speculative_copies,
+        "speculative trace records must match the launched-copy counter"
+    );
+    let killed = report.trace.iter().filter(|r| r.outcome == "killed").count() as u64;
+    assert_eq!(killed, report.kills, "killed trace records must match the kill counter");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Status-quo progress-based speculation (§IV-C's comparison point):
+    /// whatever quantile/multiplier it runs with, a speculative copy never
+    /// outlives its original's completion — the loser is killed the
+    /// instant the winner finishes — and every task still completes
+    /// exactly once.
+    #[test]
+    fn speculative_copies_never_outlive_the_winner(
+        seed in 0u64..10_000,
+        quantile in 0.1f64..0.9,
+        multiplier in 1.05f64..3.0,
+    ) {
+        let job = pareto_pipeline("fg", 2, 8, 1.0, 1.2, Priority::new(10))
+            .expect("valid job");
+        let speculation = SpeculationConfig::spark_defaults()
+            .with_quantile(quantile)
+            .with_multiplier(multiplier);
+        let report = Simulation::new(
+            SimConfig::new(ClusterSpec::new(2, 4).expect("valid cluster"))
+                .with_seed(seed)
+                .with_speculation(speculation)
+                .record_trace(true),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![job],
+        )
+        .run();
+        assert_speculation_trace_invariants(&report);
+    }
+
+    /// The same invariants hold for the paper's own straggler mitigation
+    /// (copies on the job's reserved slots, §IV-C).
+    #[test]
+    fn ssr_straggler_copies_never_outlive_the_winner(seed in 0u64..10_000) {
+        let job = pareto_pipeline("fg", 2, 8, 1.0, 1.2, Priority::new(10))
+            .expect("valid job");
+        let report = Simulation::new(
+            SimConfig::new(ClusterSpec::new(2, 4).expect("valid cluster"))
+                .with_seed(seed)
+                .record_trace(true),
+            PolicyConfig::ssr_strict_with_stragglers(),
+            OrderConfig::FifoPriority,
+            vec![job],
+        )
+        .run();
+        assert_speculation_trace_invariants(&report);
+    }
+
+    /// `SpeculationConfig::threshold`: no copy is considered below the
+    /// completion quantile, and past it the threshold is exactly
+    /// `multiplier × median` — monotone in the multiplier.
+    #[test]
+    fn speculation_threshold_respects_quantile_and_median(
+        quantile in 0.0f64..=1.0,
+        multiplier in 1.0f64..4.0,
+        durations in proptest::collection::vec(0.1f64..100.0, 1..20),
+        parallelism in 1u32..32,
+    ) {
+        let config = SpeculationConfig::spark_defaults()
+            .with_quantile(quantile)
+            .with_multiplier(multiplier);
+        let fraction = durations.len() as f64 / f64::from(parallelism);
+        match config.threshold(&durations, parallelism) {
+            None => prop_assert!(
+                fraction < quantile,
+                "threshold withheld although {fraction:.3} of the phase completed"
+            ),
+            Some(t) => {
+                prop_assert!(fraction >= quantile);
+                let median = ssr::simcore::stats::percentile(&durations, 0.5);
+                prop_assert!((t - multiplier * median).abs() < 1e-9);
+                let stricter = config.with_multiplier(multiplier + 1.0);
+                let t2 = stricter.threshold(&durations, parallelism)
+                    .expect("same quantile, same completions");
+                prop_assert!(t2 >= t, "threshold must be monotone in the multiplier");
+            }
+        }
+    }
+
+    /// Per-trial RNG streams: `SimRng::stream(root, index)` is a pure
+    /// function of its arguments, and distinct trial indices observe
+    /// distinct streams (no repetition accidentally replays another's
+    /// randomness).
+    #[test]
+    fn trial_rng_streams_are_pure_and_independent(
+        root in 0u64..u64::MAX,
+        i in 0u64..1_000,
+        j in 0u64..1_000,
+    ) {
+        let draws = |mut rng: SimRng| -> Vec<u64> {
+            (0..64).map(|_| rng.next_u64()).collect()
+        };
+        // Pure: reconstructing the stream replays it exactly.
+        prop_assert_eq!(
+            draws(SimRng::stream(root, i)),
+            draws(SimRng::stream(root, i))
+        );
+        // Independent: any two distinct indices diverge within 64 draws.
+        if i != j {
+            prop_assert_ne!(
+                draws(SimRng::stream(root, i)),
+                draws(SimRng::stream(root, j)),
+                "indices {} and {} of root {:#x} shared a stream", i, j, root
+            );
+        }
+    }
 }

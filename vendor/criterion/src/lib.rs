@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`, covering the macro / builder surface
+//! the workspace's micro-benchmarks use. Instead of criterion's
+//! statistical sampling it runs each benchmark for a short fixed budget
+//! and prints the mean wall-clock time per iteration — enough to compare
+//! hot paths locally while keeping the benches compiling and runnable
+//! without network access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration time budget control (API compatibility only; the
+/// stand-in treats all variants identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, e.g. a parameter rendered into the name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made from a bare parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id made from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+/// Runs one benchmark body repeatedly and records timing.
+pub struct Bencher {
+    iters_run: u64,
+    elapsed: Duration,
+}
+
+/// Wall-clock budget per benchmark; small so `cargo bench` stays quick.
+const BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { iters_run: 0, elapsed: Duration::ZERO }
+    }
+
+    /// Times `routine` repeatedly until the budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters_run += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_run += 1;
+            if self.elapsed >= BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters_run == 0 {
+            println!("{name}: no iterations run");
+            return;
+        }
+        let per_iter = self.elapsed / u32::try_from(self.iters_run).unwrap_or(u32::MAX);
+        println!("{name}: {per_iter:?}/iter ({} iters)", self.iters_run);
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_owned() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function calling each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts_iterations() {
+        let mut b = Bencher::new();
+        b.iter(|| 1 + 1);
+        assert!(b.iters_run > 0);
+    }
+
+    #[test]
+    fn batched_runs_setup_per_iteration() {
+        let mut b = Bencher::new();
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, b.iters_run);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(400).0, "400");
+        assert_eq!(BenchmarkId::new("f", 2).0, "f/2");
+    }
+}

@@ -1,0 +1,23 @@
+//! Test-runner configuration.
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 to keep the offline
+    /// suite fast; individual properties override where coverage matters.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for `proptest`, covering the surface the workspace
+//! uses: the `proptest!` macro, range / tuple / mapped / union strategies,
+//! `collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, chosen deliberately for an offline,
+//! deterministic test suite:
+//!
+//! * **No shrinking.** On failure the macro prints the generated inputs
+//!   and the case index, which is enough to reproduce (generation is
+//!   deterministic per test name + case index).
+//! * **Deterministic by construction.** The RNG seed is derived from the
+//!   test function's name, so runs are bit-identical across machines and
+//!   invocations — the same reproducibility discipline as the simulator
+//!   itself (see `ssr-simcore::rng`).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod config;
+pub mod strategy;
+
+/// Deterministic generator used by the test harness: SplitMix64.
+///
+/// Small, fast, and with independent streams per (name-hash, case) pair —
+/// quality is ample for test-input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one test case, mixing the test's name
+    /// hash with the case index so every case sees a fresh stream.
+    pub fn for_case(name_hash: u64, case: u32) -> Self {
+        TestRng { state: name_hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Returns the next 64 uniformly distributed bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; the tiny modulo bias is irrelevant for test-case
+        // generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a hash of a test name, for per-test deterministic seeding.
+pub fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The common imports: strategies, config, and the macros.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs property-test functions: an optional
+/// `#![proptest_config(expr)]` header followed by `fn name(arg in strategy, ...) { body }`
+/// items, each expanded into a deterministic multi-case `#[test]`-able fn.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::config::ProptestConfig = $config;
+            let hash = $crate::name_hash(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(hash, case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                // Snapshot the inputs before the body can move them, so a
+                // failing case is reportable without shrinking support.
+                let inputs = ::std::vec![
+                    $(::std::format!("{} = {:?}", stringify!($arg), &$arg)),+
+                ];
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body
+                ));
+                if let Err(panic) = outcome {
+                    ::std::eprintln!(
+                        "proptest {} failed at case {}/{} with inputs:",
+                        stringify!($name),
+                        case,
+                        config.cases
+                    );
+                    for line in &inputs {
+                        ::std::eprintln!("    {line}");
+                    }
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body (panics on failure; the
+/// harness reports the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Builds a strategy choosing uniformly among the given strategies (all
+/// must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union_of(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = crate::TestRng::for_case(7, 3);
+        let mut b = crate::TestRng::for_case(7, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case(7, 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -5i32..5, z in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec((0u64..10, 1u64..3).prop_map(|(a, b)| a * b), 2..6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 20));
+        }
+
+        #[test]
+        fn oneof_hits_every_branch(v in crate::collection::vec(
+            prop_oneof![Just(0u32), Just(1u32), 5u32..7], 64)
+        ) {
+            prop_assert!(v.iter().all(|&x| x <= 1 || x == 5 || x == 6));
+            // With 64 draws across 32 cases, each branch appears.
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

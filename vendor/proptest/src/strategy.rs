@@ -1,0 +1,240 @@
+//! Value-generation strategies: ranges, tuples, `prop_map`, unions.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type from the deterministic RNG.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u64::from(self.end - self.start);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_unsigned_range!(u8, u16, u32);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+                (i64::from(self.start) + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8, i16, i32);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Map the closed unit draw onto [lo, hi]; hitting `hi` exactly has
+        // probability ~2^-53 higher than interior points, which is fine
+        // for test generation.
+        lo + (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64 * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy for storage in heterogeneous collections
+/// (used by `prop_oneof!`).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Chooses uniformly among its branches, then draws from the chosen one.
+pub struct Union<T> {
+    branches: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+/// Builds a [`Union`] from boxed branches (the `prop_oneof!` backend).
+///
+/// # Panics
+///
+/// Panics if `branches` is empty.
+pub fn union_of<T>(branches: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+    assert!(!branches.is_empty(), "prop_oneof! requires at least one branch");
+    Union { branches }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.branches.len() as u64) as usize;
+        self.branches[idx].generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_range_covers_negative_values() {
+        let mut rng = TestRng::for_case(1, 0);
+        let strat = -3i32..3;
+        let mut seen_negative = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((-3..3).contains(&v));
+            seen_negative |= v < 0;
+        }
+        assert!(seen_negative);
+    }
+
+    #[test]
+    fn inclusive_f64_range_stays_in_bounds() {
+        let mut rng = TestRng::for_case(2, 0);
+        let strat = 0.0f64..=1.0;
+        for _ in 0..1000 {
+            let v = strat.generate(&mut rng);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_repeats_its_value() {
+        let mut rng = TestRng::for_case(3, 0);
+        assert_eq!(Just(41u8).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn union_uses_every_branch() {
+        let mut rng = TestRng::for_case(4, 0);
+        let u = union_of(vec![boxed(Just(0u8)), boxed(Just(1u8)), boxed(Just(2u8))]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

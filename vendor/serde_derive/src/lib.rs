@@ -1,0 +1,149 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Supports structs with named fields and unit/newtype-free enums are not
+//! needed by the workspace, so only named-field structs are accepted.
+//! `#[serde(skip)]` on a field omits it from serialization, matching the
+//! real derive's behaviour for the subset used here.
+//!
+//! The implementation parses the raw token stream by hand (no `syn` /
+//! `quote` available offline) and emits the impl as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A field of the struct under derive.
+struct Field {
+    name: String,
+    skipped: bool,
+}
+
+/// Extracts the struct name and its named fields from the derive input.
+///
+/// Panics with a readable message on unsupported shapes; derives only run
+/// at compile time, so a panic surfaces as a compile error.
+fn parse_struct(input: TokenStream) -> (String, Vec<Field>) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (doc comments included) and visibility.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute group that follows.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde derive: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("vendored serde derive supports only structs with named fields");
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde derive: no `struct` keyword found");
+    // Find the brace group holding the fields (skips generics, which the
+    // workspace does not use on serialized types).
+    let fields_group = iter
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .expect("serde derive: expected named fields in braces");
+
+    let mut fields = Vec::new();
+    let mut toks = fields_group.stream().into_iter().peekable();
+    loop {
+        // Collect this field's attributes.
+        let mut skipped = false;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        if attr_is_serde_skip(&g) {
+                            skipped = true;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Optional visibility: `pub` or `pub(...)`.
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            let _ = toks.next();
+            if matches!(
+                toks.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                let _ = toks.next();
+            }
+        }
+        // Field name, or end of the struct body.
+        let Some(TokenTree::Ident(field_name)) = toks.next() else {
+            break;
+        };
+        fields.push(Field { name: field_name.to_string(), skipped });
+        // Skip `: Type` up to the next top-level comma.
+        for tt in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    (name, fields)
+}
+
+/// Recognises `#[serde(skip)]` (and `#[serde(skip, ...)]`).
+fn attr_is_serde_skip(attr: &proc_macro::Group) -> bool {
+    let mut toks = attr.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (lowering to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skipped) {
+        pushes.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{0}\"), \
+             ::serde::Serialize::to_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_struct(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

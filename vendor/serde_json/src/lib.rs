@@ -1,0 +1,174 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde::Value`
+//! tree as JSON text with the same conventions as the real crate (compact
+//! and 2-space-indented pretty forms, shortest-round-trip float notation,
+//! non-finite floats rendered as `null`).
+//!
+//! Output is deterministic: object keys keep field declaration order, so
+//! two serializations of equal values are byte-identical — the property
+//! the determinism regression tests in `tests/determinism.rs` rely on.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization error. The stand-in serializer is total, so this is never
+/// produced, but the `Result` return keeps call sites source-compatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{:?}` prints the shortest representation that round-trips,
+                // matching serde_json (e.g. `4.0`, `0.1`).
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+            write_value(o, x, indent, d)
+        }),
+        Value::Object(entries) => {
+            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |o, (k, x), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Float(4.0), Value::Null])),
+            ("s".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(to_string(&Wrapper(v)).unwrap(), r#"{"a":1,"b":[4.0,null],"s":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents_two_spaces() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::Int(-1)]))]);
+        assert_eq!(
+            to_string_pretty(&Wrapper(v)).unwrap(),
+            "{\n  \"a\": [\n    -1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(to_string_pretty(&Wrapper(Value::Array(vec![]))).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Wrapper(Value::Object(vec![]))).unwrap(), "{}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    /// Forwards an already-built `Value` through the `Serialize` entry point.
+    struct Wrapper(Value);
+
+    impl serde::Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
