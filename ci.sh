@@ -13,4 +13,7 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo bench -- --test (smoke)"
+cargo bench --workspace --offline -- --test
+
 echo "==> ci.sh: all green"

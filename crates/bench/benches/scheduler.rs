@@ -1,0 +1,153 @@
+//! The scheduler hot-path benchmark suite tracked in
+//! `BENCH_scheduler.json` at the repo root: resource-offer rounds at
+//! 100 / 1000 / 4000 slots (the paper's simulator scale), saturated
+//! re-offer rounds at the same scales, a full small-grid simulation, and
+//! event-queue throughput including the recycled-allocation path.
+//!
+//! Regenerate the JSON with:
+//!
+//! ```text
+//! CRITERION_OUTPUT_JSON=BENCH_scheduler.json \
+//!     cargo bench -p ssr-bench --bench scheduler --offline
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssr_cluster::{ClusterSpec, LocalityModel};
+use ssr_dag::{JobSpecBuilder, Priority};
+use ssr_scheduler::{FifoPriority, TaskScheduler, WorkConserving};
+use ssr_sim::{OrderConfig, PolicyConfig, SimConfig, Simulation};
+use ssr_simcore::dist::{constant, pareto};
+use ssr_simcore::events::EventQueue;
+use ssr_simcore::{SimDuration, SimTime};
+
+/// The scales the acceptance criteria track: a small rack, a mid-size
+/// cluster, and the paper's 1000-node / 4000-slot simulator.
+const SCALES: [u32; 3] = [100, 1000, 4000];
+
+fn backlogged_scheduler(slots: u32) -> TaskScheduler {
+    let mut sched = TaskScheduler::new(
+        ClusterSpec::with_racks(slots / 4, 4, 20).expect("valid"),
+        LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+        Box::new(WorkConserving),
+        Box::new(FifoPriority),
+    );
+    let job = JobSpecBuilder::new("big")
+        .priority(Priority::new(5))
+        .stage("map", slots * 2, constant(1.0))
+        .build()
+        .expect("valid");
+    sched.submit(job, SimTime::ZERO);
+    sched
+}
+
+/// One offer round that fills the whole cluster from a backlogged job —
+/// `slots` assignment decisions in a single `resource_offers` call.
+fn bench_offer_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/offer_round");
+    for &slots in &SCALES {
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            b.iter_batched(
+                || backlogged_scheduler(slots),
+                |mut sched| black_box(sched.resource_offers(SimTime::ZERO).len()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// A re-offer round on an already saturated cluster: the scheduler must
+/// conclude "nothing to do" — the old engine paid a full slot scan per
+/// backlogged job to learn that.
+fn bench_saturated_reoffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/saturated_reoffer");
+    for &slots in &SCALES {
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            let mut sched = backlogged_scheduler(slots);
+            assert_eq!(sched.resource_offers(SimTime::ZERO).len(), slots as usize);
+            b.iter(|| black_box(sched.resource_offers(SimTime::ZERO).len()))
+        });
+    }
+    group.finish();
+}
+
+/// Full small-grid simulation: a contended foreground/background mix on a
+/// 100-slot cluster, end to end through the event loop.
+fn bench_full_sim_small_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/full_small_grid_100slots");
+    for (name, policy) in [
+        ("work_conserving", PolicyConfig::WorkConserving),
+        ("ssr", PolicyConfig::ssr_strict()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let fg = JobSpecBuilder::new("fg")
+                    .priority(Priority::new(10))
+                    .stage("up", 40, pareto(1.0, 1.6))
+                    .stage("down", 40, pareto(1.0, 1.6))
+                    .chain()
+                    .build()
+                    .expect("valid");
+                let bg = JobSpecBuilder::new("bg")
+                    .priority(Priority::new(0))
+                    .stage("map", 400, constant(5.0))
+                    .build()
+                    .expect("valid");
+                let report = Simulation::new(
+                    SimConfig::new(ClusterSpec::with_racks(25, 4, 20).expect("valid"))
+                        .with_seed(7),
+                    policy.clone(),
+                    OrderConfig::FifoPriority,
+                    vec![fg, bg],
+                )
+                .run();
+                black_box(report.makespan_secs)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Event-queue push/pop throughput, including the recycled-allocation
+/// path (`reset` keeps the heap buffer across trials).
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_10k_fresh", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("push_pop_10k_recycled", |b| {
+        let mut q = EventQueue::with_capacity(10_000);
+        b.iter(|| {
+            q.reset();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_offer_round,
+    bench_saturated_reoffer,
+    bench_full_sim_small_grid,
+    bench_event_queue
+);
+criterion_main!(benches);

@@ -85,7 +85,10 @@ fn settings() -> Vec<Setting> {
     ]
 }
 
-pub(crate) fn run_scaled(bg_jobs: u32, seed: u64) -> String {
+/// Runs the figure at an explicit background-job count and seed — the
+/// `run()` entry point uses the `SSR_FULL`-scaled defaults; tests and the
+/// golden-equivalence suite call this directly with a reduced grid.
+pub fn run_scaled(bg_jobs: u32, seed: u64) -> String {
     let cluster = large_cluster();
     let horizon = SimDuration::from_secs(1800);
     let mut out = format!(

@@ -1,0 +1,55 @@
+//! Golden equivalence tests: reduced-scale figure output is pinned
+//! byte-for-byte against checked-in snapshots.
+//!
+//! These guard the scheduler hot-path optimizations (indexed slot pool,
+//! incremental offer rounds) against behavioral drift: any change to the
+//! engine that alters a single byte of figure output fails here.
+//!
+//! To regenerate the snapshots after an *intentional* behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ssr-bench --test golden
+//! ```
+
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `actual` against the checked-in snapshot `name`, or rewrites
+/// the snapshot when `UPDATE_GOLDEN=1`.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden snapshot.\n\
+         If the change is intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p ssr-bench --test golden\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn fig08_matches_golden_snapshot() {
+    // Closed-form Eq. 4 curves; worker-count independent by the par_map
+    // merge contract, pinned at one worker anyway for belt and braces.
+    ssr_sim::runner::set_worker_override(Some(1));
+    assert_golden("fig08.txt", &ssr_bench::figures::fig08::run());
+}
+
+#[test]
+fn fig15_reduced_matches_golden_snapshot() {
+    // Small grid (12 background jobs, seed 5 — the same scale the unit
+    // tests use), single worker: the full simulator pipeline end to end.
+    ssr_sim::runner::set_worker_override(Some(1));
+    assert_golden("fig15_reduced.txt", &ssr_bench::figures::fig15::run_scaled(12, 5));
+}

@@ -35,10 +35,12 @@
 
 pub mod locality;
 pub mod placement;
+pub mod pool;
 pub mod slot;
 pub mod topology;
 
 pub use locality::{LocalityLevel, LocalityModel};
 pub use placement::DataPlacement;
+pub use pool::SlotPool;
 pub use slot::{ClusterError, Reservation, SlotState, SlotTable};
 pub use topology::{ClusterSpec, NodeId, RackId, SlotId, TopologyError};

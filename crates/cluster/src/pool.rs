@@ -1,0 +1,729 @@
+//! The indexed slot pool: the [`SlotTable`] state machine plus
+//! incrementally maintained indexes, so the scheduler hot path never
+//! rescans the whole cluster.
+//!
+//! [`SlotPool`] keeps, updated at every state transition:
+//!
+//! * the set of **free** slots (globally, per node and per rack) — O(log n)
+//!   membership updates, O(result) enumeration for candidate ranking,
+//! * the set of **reserved** slots, globally and **per job** — O(result)
+//!   `reserved_for`, `release_job_reservations` and stale-reservation
+//!   cleanup,
+//! * per-job **running counts** — O(log n) `running_for`,
+//! * a **deadline index** over bounded reservations — O(log n)
+//!   `next_deadline` and O(expired · log n) `expire_reservations`,
+//! * the `(free, running, reserved)` **counts** — O(1) `counts()`.
+//!
+//! The unindexed [`SlotTable`] survives as the naive reference
+//! implementation; a property test drives both through identical operation
+//! sequences and asserts they agree (see `proptests` below).
+//!
+//! [`SlotTable`]: crate::slot::SlotTable
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ssr_dag::{JobId, Priority, TaskId};
+use ssr_simcore::SimTime;
+
+use crate::slot::{ClusterError, Reservation, SlotState};
+use crate::topology::{ClusterSpec, NodeId, RackId, SlotId};
+
+/// The state of every slot in the cluster with checked transitions and
+/// incrementally maintained indexes (free/reserved/running sets, per-node
+/// and per-rack free lists, per-job reservation sets, a reservation
+/// deadline index and O(1) state counts).
+///
+/// Drop-in replacement for [`SlotTable`](crate::slot::SlotTable) where the
+/// caller also needs fast queries: the transition API (`assign`, `finish`,
+/// `reserve`, `release`, `expire_reservations`,
+/// `release_job_reservations`) behaves identically, and every enumeration
+/// (`free_slots`, `reserved_for`, expiry results) yields slots in the same
+/// ascending-id order the naive scan produced.
+///
+/// # Example
+///
+/// ```
+/// use ssr_cluster::{ClusterSpec, SlotPool, Reservation};
+/// use ssr_dag::{JobId, Priority, StageId, TaskId};
+///
+/// let spec = ClusterSpec::new(2, 2)?;
+/// let mut pool = SlotPool::new(&spec);
+/// assert_eq!(pool.counts(), (4, 0, 0));
+///
+/// let slot = pool.free_slots().next().expect("all free initially");
+/// pool.assign(slot, TaskId::new(JobId::new(1), StageId::new(0), 0))?;
+/// assert_eq!(pool.counts(), (3, 1, 0));
+/// assert_eq!(pool.running_for(JobId::new(1)), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    states: Vec<SlotState>,
+    sizes: Vec<u32>,
+    /// `slot -> node` (dense), avoiding per-query arithmetic in hot loops.
+    node_of: Vec<NodeId>,
+    /// `slot -> rack` (dense).
+    rack_of: Vec<RackId>,
+    /// `true` when every slot has the same size (the common homogeneous
+    /// case): demand filters reduce to a single comparison.
+    uniform_size: bool,
+    free: BTreeSet<SlotId>,
+    free_by_node: Vec<BTreeSet<SlotId>>,
+    free_by_rack: Vec<BTreeSet<SlotId>>,
+    reserved: BTreeSet<SlotId>,
+    reserved_by_job: BTreeMap<JobId, BTreeSet<SlotId>>,
+    /// Reserved-slot count per `(owner, priority)` group — the unit at
+    /// which priority-based ApprovalLogic verdicts are uniform, letting
+    /// the scheduler approve once per group instead of once per slot.
+    reserved_groups: BTreeMap<(JobId, Priority), usize>,
+    running_by_job: BTreeMap<JobId, usize>,
+    /// `(deadline, slot)` for every reservation with a bounded deadline.
+    deadlines: BTreeSet<(SimTime, SlotId)>,
+    running_count: usize,
+}
+
+impl SlotPool {
+    /// Creates a pool with every slot free, recording each slot's size and
+    /// topology position from the cluster spec.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        let total = spec.total_slots() as usize;
+        let sizes: Vec<u32> = spec.iter_slots().map(|s| spec.slot_size(s)).collect();
+        let node_of: Vec<NodeId> = spec.iter_slots().map(|s| spec.node_of(s)).collect();
+        let rack_of: Vec<RackId> =
+            node_of.iter().map(|&n| spec.rack_of(n)).collect();
+        let free: BTreeSet<SlotId> = spec.iter_slots().collect();
+        let mut free_by_node = vec![BTreeSet::new(); spec.nodes() as usize];
+        let mut free_by_rack = vec![BTreeSet::new(); spec.racks() as usize];
+        for &slot in &free {
+            free_by_node[node_of[slot.index()].as_u32() as usize].insert(slot);
+            free_by_rack[rack_of[slot.index()].as_u32() as usize].insert(slot);
+        }
+        let uniform_size = sizes.windows(2).all(|w| w[0] == w[1]);
+        SlotPool {
+            states: vec![SlotState::Free; total],
+            sizes,
+            node_of,
+            rack_of,
+            uniform_size,
+            free,
+            free_by_node,
+            free_by_rack,
+            reserved: BTreeSet::new(),
+            reserved_by_job: BTreeMap::new(),
+            reserved_groups: BTreeMap::new(),
+            running_by_job: BTreeMap::new(),
+            deadlines: BTreeSet::new(),
+            running_count: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Index maintenance
+    // ------------------------------------------------------------------
+
+    fn index_free(&mut self, slot: SlotId) {
+        self.free.insert(slot);
+        self.free_by_node[self.node_of[slot.index()].as_u32() as usize].insert(slot);
+        self.free_by_rack[self.rack_of[slot.index()].as_u32() as usize].insert(slot);
+    }
+
+    fn unindex_free(&mut self, slot: SlotId) {
+        self.free.remove(&slot);
+        self.free_by_node[self.node_of[slot.index()].as_u32() as usize].remove(&slot);
+        self.free_by_rack[self.rack_of[slot.index()].as_u32() as usize].remove(&slot);
+    }
+
+    fn index_reservation(&mut self, slot: SlotId, r: &Reservation) {
+        self.reserved.insert(slot);
+        self.reserved_by_job.entry(r.job()).or_default().insert(slot);
+        *self.reserved_groups.entry((r.job(), r.priority())).or_insert(0) += 1;
+        if let Some(d) = r.deadline() {
+            self.deadlines.insert((d, slot));
+        }
+    }
+
+    fn unindex_group(&mut self, r: &Reservation) {
+        let key = (r.job(), r.priority());
+        if let Some(c) = self.reserved_groups.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.reserved_groups.remove(&key);
+            }
+        }
+    }
+
+    fn unindex_reservation(&mut self, slot: SlotId, r: &Reservation) {
+        self.reserved.remove(&slot);
+        if let Some(set) = self.reserved_by_job.get_mut(&r.job()) {
+            set.remove(&slot);
+            if set.is_empty() {
+                self.reserved_by_job.remove(&r.job());
+            }
+        }
+        self.unindex_group(r);
+        if let Some(d) = r.deadline() {
+            self.deadlines.remove(&(d, slot));
+        }
+    }
+
+    /// Moves `slot` out of whatever non-running state it is in, dropping
+    /// its index entries. Returns an error for running slots.
+    fn unindex_current(&mut self, slot: SlotId) -> Result<(), ClusterError> {
+        match self.states[slot.index()] {
+            SlotState::Running(_) => Err(ClusterError::CannotReserveBusy { slot }),
+            SlotState::Free => {
+                self.unindex_free(slot);
+                Ok(())
+            }
+            SlotState::Reserved(r) => {
+                self.unindex_reservation(slot, &r);
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transitions (same contract as SlotTable)
+    // ------------------------------------------------------------------
+
+    /// Assigns `task` to `slot`. The slot may be free or reserved (the
+    /// caller is responsible for having applied the ApprovalLogic); a
+    /// reservation is consumed by the assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::SlotBusy`] if the slot is running a task.
+    pub fn assign(&mut self, slot: SlotId, task: TaskId) -> Result<(), ClusterError> {
+        if let SlotState::Running(occupant) = self.states[slot.index()] {
+            return Err(ClusterError::SlotBusy { slot, occupant });
+        }
+        self.unindex_current(slot).expect("checked not running");
+        self.states[slot.index()] = SlotState::Running(task);
+        self.running_count += 1;
+        *self.running_by_job.entry(task.job).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Completes the task on `slot`, freeing it, and returns the task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NotRunning`] if the slot holds no task.
+    pub fn finish(&mut self, slot: SlotId) -> Result<TaskId, ClusterError> {
+        let SlotState::Running(task) = self.states[slot.index()] else {
+            return Err(ClusterError::NotRunning { slot });
+        };
+        self.states[slot.index()] = SlotState::Free;
+        self.running_count -= 1;
+        if let Some(c) = self.running_by_job.get_mut(&task.job) {
+            *c -= 1;
+            if *c == 0 {
+                self.running_by_job.remove(&task.job);
+            }
+        }
+        self.index_free(slot);
+        Ok(task)
+    }
+
+    /// Reserves `slot`. Overwrites an existing reservation (e.g. a
+    /// higher-priority job re-reserving, or a deadline refresh).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::CannotReserveBusy`] if the slot is running.
+    pub fn reserve(&mut self, slot: SlotId, reservation: Reservation) -> Result<(), ClusterError> {
+        self.unindex_current(slot)?;
+        self.states[slot.index()] = SlotState::Reserved(reservation);
+        self.index_reservation(slot, &reservation);
+        Ok(())
+    }
+
+    /// Releases `slot` unconditionally (reservation cancelled or task
+    /// cleanup); running slots are left untouched and reported as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::CannotReserveBusy`] if the slot is running.
+    pub fn release(&mut self, slot: SlotId) -> Result<(), ClusterError> {
+        self.unindex_current(slot)?;
+        self.states[slot.index()] = SlotState::Free;
+        self.index_free(slot);
+        Ok(())
+    }
+
+    /// Frees every reservation whose deadline has passed at `now` and
+    /// returns the freed slots in ascending id order (§IV-B: "beyond the
+    /// deadline the reservation is expired, and the slot becomes free to
+    /// use by other jobs").
+    pub fn expire_reservations(&mut self, now: SimTime) -> Vec<SlotId> {
+        let mut expired: Vec<SlotId> = Vec::new();
+        // `expired_at` is `deadline <= now`, so everything up to and
+        // including (now, SlotId::MAX) has lapsed.
+        while let Some(&(deadline, slot)) = self.deadlines.first() {
+            if deadline > now {
+                break;
+            }
+            let r = *self.states[slot.index()]
+                .reservation()
+                .expect("deadline index entries are reserved slots");
+            self.unindex_reservation(slot, &r);
+            self.states[slot.index()] = SlotState::Free;
+            self.index_free(slot);
+            expired.push(slot);
+        }
+        // The deadline index yields (time, slot) order; the naive scan
+        // yielded ascending slot ids.
+        expired.sort_unstable();
+        expired
+    }
+
+    /// Releases every reservation held by `job` (e.g. on job completion)
+    /// and returns the freed slots in ascending id order.
+    pub fn release_job_reservations(&mut self, job: JobId) -> Vec<SlotId> {
+        let Some(set) = self.reserved_by_job.remove(&job) else { return Vec::new() };
+        let freed: Vec<SlotId> = set.into_iter().collect();
+        for &slot in &freed {
+            let r = *self.states[slot.index()]
+                .reservation()
+                .expect("per-job index entries are reserved slots");
+            self.reserved.remove(&slot);
+            self.unindex_group(&r);
+            if let Some(d) = r.deadline() {
+                self.deadlines.remove(&(d, slot));
+            }
+            self.states[slot.index()] = SlotState::Free;
+            self.index_free(slot);
+        }
+        freed
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The resource size of `slot` (§III-C heterogeneous clusters; 1 in a
+    /// homogeneous one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn size(&self, slot: SlotId) -> u32 {
+        self.sizes[slot.index()]
+    }
+
+    /// `true` when every slot has the same size: a demand of at most that
+    /// size fits everywhere and per-slot size filters can be skipped.
+    pub fn uniform_size(&self) -> bool {
+        self.uniform_size
+    }
+
+    /// The machine hosting `slot` (precomputed).
+    pub fn node_of(&self, slot: SlotId) -> NodeId {
+        self.node_of[slot.index()]
+    }
+
+    /// The rack containing `slot`'s machine (precomputed).
+    pub fn rack_of(&self, slot: SlotId) -> RackId {
+        self.rack_of[slot.index()]
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the cluster has no slots (never true for a validated
+    /// [`ClusterSpec`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn get(&self, slot: SlotId) -> &SlotState {
+        &self.states[slot.index()]
+    }
+
+    /// Iterator over free slots in ascending id order — O(result).
+    pub fn free_slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.free.iter().copied()
+    }
+
+    /// Free slots hosted by `node`, ascending — O(result).
+    pub fn free_on_node(&self, node: NodeId) -> impl Iterator<Item = SlotId> + '_ {
+        self.free_by_node[node.as_u32() as usize].iter().copied()
+    }
+
+    /// Free slots in `rack`, ascending — O(result).
+    pub fn free_in_rack(&self, rack: RackId) -> impl Iterator<Item = SlotId> + '_ {
+        self.free_by_rack[rack.as_u32() as usize].iter().copied()
+    }
+
+    /// Iterator over all reserved slots in ascending id order — O(result).
+    pub fn reserved_slots(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.reserved.iter().copied()
+    }
+
+    /// Iterator over slots reserved for `job`, ascending — O(result).
+    pub fn reserved_for(&self, job: JobId) -> impl Iterator<Item = SlotId> + '_ {
+        self.reserved_by_job.get(&job).into_iter().flatten().copied()
+    }
+
+    /// The jobs currently holding reservations, with their slot sets, in
+    /// job-id order.
+    pub fn reservations_by_job(
+        &self,
+    ) -> impl Iterator<Item = (JobId, &BTreeSet<SlotId>)> + '_ {
+        self.reserved_by_job.iter().map(|(j, s)| (*j, s))
+    }
+
+    /// The distinct `(owner, priority)` reservation groups currently held,
+    /// with their slot counts, in `(job, priority)` order — O(result).
+    /// Priority-based ApprovalLogic verdicts are uniform within a group.
+    pub fn reservation_groups(
+        &self,
+    ) -> impl Iterator<Item = (JobId, Priority, usize)> + '_ {
+        self.reserved_groups.iter().map(|(&(j, p), &c)| (j, p, c))
+    }
+
+    /// `true` if `job` currently holds at least one reservation —
+    /// O(log jobs).
+    pub fn has_reservations(&self, job: JobId) -> bool {
+        self.reserved_by_job.contains_key(&job)
+    }
+
+    /// Iterator over `(slot, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &SlotState)> + '_ {
+        self.states.iter().enumerate().map(|(i, s)| (SlotId::new(i as u32), s))
+    }
+
+    /// Counts of (free, running, reserved) slots — O(1).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.free.len(), self.running_count, self.reserved.len())
+    }
+
+    /// Number of slots currently running tasks of `job` — O(log jobs).
+    pub fn running_for(&self, job: JobId) -> usize {
+        self.running_by_job.get(&job).copied().unwrap_or(0)
+    }
+
+    /// The earliest pending reservation deadline — O(1).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.deadlines.first().map(|&(d, _)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_dag::{Priority, StageId};
+
+    fn pool(nodes: u32, slots: u32) -> SlotPool {
+        SlotPool::new(&ClusterSpec::new(nodes, slots).unwrap())
+    }
+
+    fn task(job: u64, part: u32) -> TaskId {
+        TaskId::new(JobId::new(job), StageId::new(0), part)
+    }
+
+    #[test]
+    fn fresh_pool_is_all_free_with_indexes() {
+        let p = pool(2, 3);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert_eq!(p.counts(), (6, 0, 0));
+        assert_eq!(p.free_slots().count(), 6);
+        assert_eq!(p.free_on_node(NodeId::new(0)).count(), 3);
+        assert_eq!(p.free_in_rack(RackId::new(0)).count(), 6);
+        assert!(p.uniform_size());
+        assert_eq!(p.next_deadline(), None);
+    }
+
+    #[test]
+    fn assign_finish_maintains_indexes() {
+        let mut p = pool(2, 2);
+        let s = SlotId::new(1);
+        p.assign(s, task(1, 0)).unwrap();
+        assert_eq!(p.counts(), (3, 1, 0));
+        assert_eq!(p.running_for(JobId::new(1)), 1);
+        assert!(!p.free_slots().any(|f| f == s));
+        assert!(!p.free_on_node(NodeId::new(0)).any(|f| f == s));
+        assert_eq!(p.finish(s).unwrap(), task(1, 0));
+        assert_eq!(p.counts(), (4, 0, 0));
+        assert_eq!(p.running_for(JobId::new(1)), 0);
+        assert!(p.free_on_node(NodeId::new(0)).any(|f| f == s));
+    }
+
+    #[test]
+    fn transition_errors_match_the_reference_table() {
+        let mut p = pool(1, 1);
+        let s = SlotId::new(0);
+        assert_eq!(p.finish(s), Err(ClusterError::NotRunning { slot: s }));
+        p.assign(s, task(1, 0)).unwrap();
+        assert_eq!(
+            p.assign(s, task(2, 0)),
+            Err(ClusterError::SlotBusy { slot: s, occupant: task(1, 0) })
+        );
+        assert_eq!(
+            p.reserve(s, Reservation::new(JobId::new(2), Priority::default())),
+            Err(ClusterError::CannotReserveBusy { slot: s })
+        );
+        assert_eq!(p.release(s), Err(ClusterError::CannotReserveBusy { slot: s }));
+    }
+
+    #[test]
+    fn reserve_overwrite_moves_job_and_deadline_index() {
+        let mut p = pool(1, 2);
+        let s = SlotId::new(0);
+        let r1 = Reservation::new(JobId::new(1), Priority::new(1))
+            .with_deadline(SimTime::from_secs(10));
+        p.reserve(s, r1).unwrap();
+        assert_eq!(p.reserved_for(JobId::new(1)).count(), 1);
+        assert_eq!(p.next_deadline(), Some(SimTime::from_secs(10)));
+        // Overwrite by another job with a later deadline: the old entries
+        // must vanish from both the per-job and the deadline index.
+        let r2 = Reservation::new(JobId::new(2), Priority::new(9))
+            .with_deadline(SimTime::from_secs(20));
+        p.reserve(s, r2).unwrap();
+        assert_eq!(p.reserved_for(JobId::new(1)).count(), 0);
+        assert_eq!(p.reserved_for(JobId::new(2)).count(), 1);
+        assert_eq!(p.next_deadline(), Some(SimTime::from_secs(20)));
+        assert!(p.expire_reservations(SimTime::from_secs(10)).is_empty());
+        assert_eq!(p.expire_reservations(SimTime::from_secs(20)), vec![s]);
+        assert_eq!(p.counts(), (2, 0, 0));
+        assert_eq!(p.next_deadline(), None);
+    }
+
+    #[test]
+    fn assignment_consumes_reservation_indexes() {
+        let mut p = pool(1, 2);
+        let s = SlotId::new(1);
+        let r = Reservation::new(JobId::new(3), Priority::new(5))
+            .with_deadline(SimTime::from_secs(7));
+        p.reserve(s, r).unwrap();
+        p.assign(s, task(3, 0)).unwrap();
+        assert_eq!(p.reserved_for(JobId::new(3)).count(), 0);
+        assert_eq!(p.next_deadline(), None);
+        assert_eq!(p.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn release_job_reservations_returns_ascending() {
+        let mut p = pool(1, 4);
+        for i in [3u32, 0, 2] {
+            p.reserve(SlotId::new(i), Reservation::new(JobId::new(1), Priority::default()))
+                .unwrap();
+        }
+        p.reserve(SlotId::new(1), Reservation::new(JobId::new(2), Priority::default()))
+            .unwrap();
+        let freed = p.release_job_reservations(JobId::new(1));
+        assert_eq!(freed, vec![SlotId::new(0), SlotId::new(2), SlotId::new(3)]);
+        assert_eq!(p.counts(), (3, 0, 1));
+        assert!(p.release_job_reservations(JobId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn expiry_returns_ascending_slot_order() {
+        let mut p = pool(1, 3);
+        // Deliberately reversed: later deadline on the smaller slot id.
+        p.reserve(
+            SlotId::new(0),
+            Reservation::new(JobId::new(1), Priority::default())
+                .with_deadline(SimTime::from_secs(9)),
+        )
+        .unwrap();
+        p.reserve(
+            SlotId::new(2),
+            Reservation::new(JobId::new(1), Priority::default())
+                .with_deadline(SimTime::from_secs(5)),
+        )
+        .unwrap();
+        let expired = p.expire_reservations(SimTime::from_secs(9));
+        assert_eq!(expired, vec![SlotId::new(0), SlotId::new(2)]);
+    }
+
+    #[test]
+    fn reservation_groups_track_owner_priority_counts() {
+        let mut p = pool(1, 4);
+        let (j1, j2) = (JobId::new(1), JobId::new(2));
+        p.reserve(SlotId::new(0), Reservation::new(j1, Priority::new(5))).unwrap();
+        p.reserve(SlotId::new(1), Reservation::new(j1, Priority::new(5))).unwrap();
+        p.reserve(SlotId::new(2), Reservation::new(j2, Priority::new(9))).unwrap();
+        assert_eq!(
+            p.reservation_groups().collect::<Vec<_>>(),
+            vec![(j1, Priority::new(5), 2), (j2, Priority::new(9), 1)]
+        );
+        assert!(p.has_reservations(j1));
+        assert!(!p.has_reservations(JobId::new(3)));
+        // Consuming a reservation shrinks its group; the last member
+        // removes the group entirely.
+        p.assign(SlotId::new(0), task(1, 0)).unwrap();
+        assert_eq!(
+            p.reservation_groups().collect::<Vec<_>>(),
+            vec![(j1, Priority::new(5), 1), (j2, Priority::new(9), 1)]
+        );
+        p.release_job_reservations(j1);
+        assert!(!p.has_reservations(j1));
+        assert_eq!(p.reservation_groups().collect::<Vec<_>>(), vec![(j2, Priority::new(9), 1)]);
+    }
+
+    #[test]
+    fn heterogeneous_sizes_reported() {
+        let spec = ClusterSpec::new(1, 4).unwrap().with_slot_sizing(1, 4, 4);
+        let p = SlotPool::new(&spec);
+        assert!(!p.uniform_size());
+        assert_eq!(p.size(SlotId::new(0)), 4);
+        assert_eq!(p.size(SlotId::new(1)), 1);
+    }
+
+    #[test]
+    fn topology_lookups_match_spec() {
+        let spec = ClusterSpec::with_racks(4, 2, 2).unwrap();
+        let p = SlotPool::new(&spec);
+        for slot in spec.iter_slots() {
+            assert_eq!(p.node_of(slot), spec.node_of(slot));
+            assert_eq!(p.rack_of(slot), spec.rack_of(spec.node_of(slot)));
+        }
+        assert_eq!(p.free_in_rack(RackId::new(1)).count(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::slot::SlotTable;
+    use proptest::prelude::*;
+    use ssr_dag::{Priority, StageId};
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Assign(u32, u64),
+        Finish(u32),
+        Reserve(u32, u64, Option<u64>),
+        Release(u32),
+        Expire(u64),
+        ReleaseJob(u64),
+    }
+
+    fn op_strategy(slots: u32) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..slots, 1u64..5).prop_map(|(s, j)| Op::Assign(s, j)),
+            (0..slots).prop_map(Op::Finish),
+            (0..slots, 1u64..5, 0u64..40)
+                .prop_map(|(s, j, d)| Op::Reserve(s, j, (d > 0).then_some(d))),
+            (0..slots).prop_map(Op::Release),
+            (0u64..50).prop_map(Op::Expire),
+            (1u64..5).prop_map(Op::ReleaseJob),
+        ]
+    }
+
+    /// Applies one op to both implementations and asserts identical
+    /// results; `SlotTable` is the naive rescan reference.
+    fn apply(pool: &mut SlotPool, table: &mut SlotTable, op: Op) {
+        match op {
+            Op::Assign(s, j) => {
+                let slot = SlotId::new(s);
+                let t = TaskId::new(JobId::new(j), StageId::new(0), 0);
+                prop_assert_eq!(pool.assign(slot, t), table.assign(slot, t));
+            }
+            Op::Finish(s) => {
+                let slot = SlotId::new(s);
+                prop_assert_eq!(pool.finish(slot), table.finish(slot));
+            }
+            Op::Reserve(s, j, d) => {
+                let slot = SlotId::new(s);
+                let mut r = Reservation::new(JobId::new(j), Priority::new(j as i32));
+                if let Some(d) = d {
+                    r = r.with_deadline(SimTime::from_secs(d));
+                }
+                prop_assert_eq!(pool.reserve(slot, r), table.reserve(slot, r));
+            }
+            Op::Release(s) => {
+                let slot = SlotId::new(s);
+                prop_assert_eq!(pool.release(slot), table.release(slot));
+            }
+            Op::Expire(at) => {
+                let now = SimTime::from_secs(at);
+                prop_assert_eq!(pool.expire_reservations(now), table.expire_reservations(now));
+            }
+            Op::ReleaseJob(j) => {
+                let job = JobId::new(j);
+                prop_assert_eq!(
+                    pool.release_job_reservations(job),
+                    table.release_job_reservations(job)
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// The indexed pool and the naive rescan table agree on every
+        /// query after any operation sequence.
+        #[test]
+        fn pool_agrees_with_rescan_reference(
+            ops in proptest::collection::vec(op_strategy(8), 0..300)
+        ) {
+            let spec = ClusterSpec::with_racks(4, 2, 2).unwrap();
+            let mut pool = SlotPool::new(&spec);
+            let mut table = SlotTable::new(&spec);
+            for op in ops {
+                apply(&mut pool, &mut table, op);
+                prop_assert_eq!(pool.counts(), table.counts());
+                prop_assert_eq!(
+                    pool.free_slots().collect::<Vec<_>>(),
+                    table.free_slots().collect::<Vec<_>>()
+                );
+                for j in 1..5u64 {
+                    let job = JobId::new(j);
+                    prop_assert_eq!(
+                        pool.reserved_for(job).collect::<Vec<_>>(),
+                        table.reserved_for(job).collect::<Vec<_>>()
+                    );
+                    prop_assert_eq!(pool.running_for(job), table.running_for(job));
+                }
+                for (slot, state) in pool.iter() {
+                    prop_assert_eq!(state, table.get(slot));
+                }
+                // The derived indexes are internally consistent too.
+                let reserved_count = pool.reserved_slots().count();
+                prop_assert_eq!(reserved_count, pool.counts().2);
+                let per_node: usize = (0..spec.nodes())
+                    .map(|n| pool.free_on_node(NodeId::new(n)).count())
+                    .sum();
+                prop_assert_eq!(per_node, pool.counts().0);
+                let per_rack: usize = (0..spec.racks())
+                    .map(|r| pool.free_in_rack(RackId::new(r)).count())
+                    .sum();
+                prop_assert_eq!(per_rack, pool.counts().0);
+                prop_assert_eq!(
+                    pool.next_deadline(),
+                    pool.iter()
+                        .filter_map(|(_, s)| s.reservation().and_then(|r| r.deadline()))
+                        .min()
+                );
+                // The (owner, priority) group index matches a naive
+                // recount over all slot states.
+                let mut naive_groups: BTreeMap<(JobId, Priority), usize> = BTreeMap::new();
+                for (_, state) in pool.iter() {
+                    if let Some(r) = state.reservation() {
+                        *naive_groups.entry((r.job(), r.priority())).or_insert(0) += 1;
+                    }
+                }
+                prop_assert_eq!(
+                    pool.reservation_groups().collect::<Vec<_>>(),
+                    naive_groups.into_iter().map(|((j, p), c)| (j, p, c)).collect::<Vec<_>>()
+                );
+                for j in 1..5u64 {
+                    let job = JobId::new(j);
+                    prop_assert_eq!(
+                        pool.has_reservations(job),
+                        table.reserved_for(job).next().is_some()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -158,6 +158,10 @@ impl ReservationPolicy for SpeculativeReservation {
         "speculative-slot-reservation"
     }
 
+    fn approval_is_priority_based(&self) -> bool {
+        true // ApprovalLogic is the default (pure) priority rule
+    }
+
     /// Algorithm 1, `HandleTaskCompletion` (lines 1–17).
     fn on_task_completed(
         &mut self,
@@ -251,7 +255,7 @@ impl ReservationPolicy for SpeculativeReservation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssr_cluster::{ClusterSpec, LocalityModel, SlotTable};
+    use ssr_cluster::{ClusterSpec, LocalityModel, SlotPool};
     use ssr_dag::{JobId, JobSpecBuilder, Priority, StageSpec};
     use ssr_scheduler::{FifoPriority, TaskScheduler};
     use ssr_simcore::dist::constant;
@@ -277,7 +281,7 @@ mod tests {
         s.submit(spec, SimTime::ZERO);
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(1));
-        let (free, running, reserved) = s.slot_table().counts();
+        let (free, running, reserved) = s.slot_pool().counts();
         assert_eq!((free, running, reserved), (1, 1, 0));
     }
 
@@ -294,9 +298,9 @@ mod tests {
         let job = s.submit(spec, SimTime::ZERO);
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(1));
-        let (_, _, reserved) = s.slot_table().counts();
+        let (_, _, reserved) = s.slot_pool().counts();
         assert_eq!(reserved, 1);
-        let r = s.slot_table().get(a[0].slot).reservation().unwrap();
+        let r = s.slot_pool().get(a[0].slot).reservation().unwrap();
         assert_eq!(r.job(), job);
         assert_eq!(r.priority(), Priority::new(5));
         assert_eq!(r.stage(), Some(StageId::new(1)));
@@ -315,7 +319,7 @@ mod tests {
         s.submit(spec, SimTime::ZERO);
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(1));
-        let (_, _, reserved) = s.slot_table().counts();
+        let (_, _, reserved) = s.slot_pool().counts();
         assert_eq!(reserved, 1);
     }
 
@@ -332,11 +336,11 @@ mod tests {
         s.submit(spec, SimTime::ZERO);
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(1));
-        assert_eq!(s.slot_table().counts().2, 0, "1st finisher released");
+        assert_eq!(s.slot_pool().counts().2, 0, "1st finisher released");
         s.task_finished(a[1].slot, SimTime::from_secs(2));
-        assert_eq!(s.slot_table().counts().2, 0, "2nd finisher released");
+        assert_eq!(s.slot_pool().counts().2, 0, "2nd finisher released");
         s.task_finished(a[2].slot, SimTime::from_secs(3));
-        assert_eq!(s.slot_table().counts().2, 1, "3rd finisher reserved");
+        assert_eq!(s.slot_pool().counts().2, 1, "3rd finisher reserved");
     }
 
     #[test]
@@ -360,7 +364,7 @@ mod tests {
         // First completion: fraction 0.5 >= R -> reserve own slot + grab
         // n - m = 2 extra free slots.
         s.task_finished(a[0].slot, SimTime::from_secs(1));
-        let (_, running, reserved) = s.slot_table().counts();
+        let (_, running, reserved) = s.slot_pool().counts();
         assert_eq!(running, 1);
         assert_eq!(reserved, 1 + 2, "own slot + pre-reserved extras");
         // Second completion: barrier clears; downstream takes 4 slots.
@@ -386,7 +390,7 @@ mod tests {
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(1));
         // fraction 0.5 < R = 1.0: only the own-slot reservation exists.
-        assert_eq!(s.slot_table().counts().2, 1);
+        assert_eq!(s.slot_pool().counts().2, 1);
     }
 
     #[test]
@@ -402,7 +406,7 @@ mod tests {
         let fg = s.submit(fg, SimTime::ZERO);
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(1));
-        assert_eq!(s.slot_table().counts().2, 1);
+        assert_eq!(s.slot_pool().counts().2, 1);
 
         // Equal-priority contender is refused.
         let eq = JobSpecBuilder::new("eq")
@@ -442,7 +446,7 @@ mod tests {
         s.submit(spec, SimTime::ZERO);
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(2));
-        let r = s.slot_table().get(a[0].slot).reservation().unwrap();
+        let r = s.slot_pool().get(a[0].slot).reservation().unwrap();
         let deadline = r.deadline().expect("P < 1 must set a deadline");
         assert!(deadline > SimTime::from_secs(2));
         assert_eq!(s.next_reservation_expiry(), Some(deadline));
@@ -564,14 +568,14 @@ mod tests {
         assert!(!first.stage_completed);
         // Every reservation made so far must be on a right-sized slot.
         let reserved: Vec<ssr_cluster::SlotId> = s
-            .slot_table()
+            .slot_pool()
             .iter()
             .filter(|(_, st)| st.is_reserved())
             .map(|(slot, _)| slot)
             .collect();
         for slot in &reserved {
             assert!(
-                s.slot_table().size(*slot) >= 4,
+                s.slot_pool().size(*slot) >= 4,
                 "{slot} reserved despite being too small for the downstream demand"
             );
         }
@@ -581,7 +585,7 @@ mod tests {
         let down = s.resource_offers(SimTime::from_secs(2));
         assert!(!down.is_empty());
         for d in &down {
-            assert!(s.slot_table().size(d.slot) >= 4);
+            assert!(s.slot_pool().size(d.slot) >= 4);
         }
     }
 
@@ -607,7 +611,7 @@ mod tests {
         s.submit(lo, SimTime::ZERO);
         let a = s.resource_offers(SimTime::ZERO);
         s.task_finished(a[0].slot, SimTime::from_secs(1));
-        assert_eq!(s.slot_table().counts().2, 0, "batch job must not reserve");
+        assert_eq!(s.slot_pool().counts().2, 0, "batch job must not reserve");
 
         let hi = JobSpecBuilder::new("hi")
             .priority(Priority::new(10))
@@ -620,7 +624,7 @@ mod tests {
         let b = s.resource_offers(SimTime::from_secs(1));
         let hi_slot = b.iter().find(|x| x.instance.task.job.as_u64() == 1).unwrap().slot;
         s.task_finished(hi_slot, SimTime::from_secs(2));
-        assert_eq!(s.slot_table().counts().2, 1, "foreground job must reserve");
+        assert_eq!(s.slot_pool().counts().2, 1, "foreground job must reserve");
     }
 
     #[test]
@@ -678,10 +682,10 @@ mod tests {
             }
         }
         assert!(!s.has_unfinished_jobs());
-        let (free, running, reserved) = s.slot_table().counts();
+        let (free, running, reserved) = s.slot_pool().counts();
         assert_eq!((free, running, reserved), (2, 0, 0), "no reservations may leak");
-        // Also verify via SlotTable that nothing is reserved.
-        let table: &SlotTable = s.slot_table();
+        // Also verify via SlotPool that nothing is reserved.
+        let table: &SlotPool = s.slot_pool();
         assert_eq!(table.free_slots().count(), 2);
         let _ = JobId::new(0);
     }

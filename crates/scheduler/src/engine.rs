@@ -9,11 +9,10 @@
 //! [`TaskScheduler::expire_reservations`] as events occur, and realises
 //! task durations itself.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use ssr_cluster::{
-    locality::level_for, ClusterSpec, DataPlacement, LocalityLevel, LocalityModel, Reservation,
-    SlotId, SlotTable,
+    ClusterSpec, DataPlacement, LocalityLevel, LocalityModel, Reservation, SlotId, SlotPool,
 };
 use ssr_dag::{JobId, JobSpec, Priority, StageId};
 use ssr_simcore::SimTime;
@@ -110,7 +109,7 @@ struct PendingPrereserve {
 #[derive(Debug)]
 pub struct TaskScheduler {
     spec: ClusterSpec,
-    slots: SlotTable,
+    slots: SlotPool,
     placement: DataPlacement,
     locality: LocalityModel,
     jobs: Jobs,
@@ -121,6 +120,22 @@ pub struct TaskScheduler {
     speculation: Option<SpeculationConfig>,
     next_job: u64,
     prereserve: BTreeMap<(JobId, StageId), PendingPrereserve>,
+    /// Cached `JobSnapshot`s of schedulable jobs (incomplete with pending
+    /// tasks), rebuilt lazily when `snapshots_dirty`; offer rounds copy
+    /// them into `candidates_buf` and maintain that copy per assignment
+    /// instead of re-deriving the vector from `jobs` each iteration.
+    snapshots: Vec<JobSnapshot>,
+    snapshots_dirty: bool,
+    // Reusable scratch buffers for the offer-round hot path — cleared on
+    // use, retained across rounds so steady state allocates nothing.
+    candidates_buf: Vec<JobSnapshot>,
+    straggler_jobs_buf: Vec<JobId>,
+    straggler_slots_buf: Vec<SlotId>,
+    straggler_plans_buf: Vec<(StageId, u32)>,
+    spec_free_buf: Vec<SlotId>,
+    spec_plans_buf: Vec<(JobId, StageId, u32, SlotId, LocalityLevel)>,
+    prereserve_free_buf: Vec<(SlotId, u32)>,
+    prereserve_keys_buf: Vec<(JobId, StageId)>,
 }
 
 impl TaskScheduler {
@@ -133,7 +148,7 @@ impl TaskScheduler {
         mut policy: Box<dyn ReservationPolicy>,
         order: Box<dyn JobOrder>,
     ) -> Self {
-        let mut slots = SlotTable::new(&cluster);
+        let mut slots = SlotPool::new(&cluster);
         if let Some((count, class)) = policy.initial_static_pool(cluster.total_slots()) {
             let pool: Vec<SlotId> = (0..count).map(SlotId::new).collect();
             for &slot in &pool {
@@ -156,6 +171,16 @@ impl TaskScheduler {
             speculation: None,
             next_job: 0,
             prereserve: BTreeMap::new(),
+            snapshots: Vec::new(),
+            snapshots_dirty: true,
+            candidates_buf: Vec::new(),
+            straggler_jobs_buf: Vec::new(),
+            straggler_slots_buf: Vec::new(),
+            straggler_plans_buf: Vec::new(),
+            spec_free_buf: Vec::new(),
+            spec_plans_buf: Vec::new(),
+            prereserve_free_buf: Vec::new(),
+            prereserve_keys_buf: Vec::new(),
         }
     }
 
@@ -185,6 +210,7 @@ impl TaskScheduler {
             state.insert_taskset(TaskSetManager::new(id, stage, parallelism, now), now);
         }
         self.jobs.insert(state);
+        self.snapshots_dirty = true;
         for stage in roots {
             let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
             self.policy.on_stage_ready(&ctx, id, stage);
@@ -200,36 +226,57 @@ impl TaskScheduler {
     pub fn resource_offers(&mut self, now: SimTime) -> Vec<Assignment> {
         self.fill_prereservations();
         let mut assignments = Vec::new();
-        let mut excluded: BTreeSet<JobId> = BTreeSet::new();
         // Early exit for a saturated cluster: no free or reserved slot means
         // no assignment can possibly be made this round.
         let (free, _, reserved) = self.slots.counts();
         let mut available = free + reserved;
-        while available > 0 {
-            let snapshots: Vec<JobSnapshot> = self
-                .jobs
-                .iter()
-                .filter(|j| {
-                    !excluded.contains(&j.id()) && !j.is_complete() && j.has_pending_tasks()
-                })
-                .map(|j| JobSnapshot {
-                    id: j.id(),
-                    priority: j.priority(),
-                    arrival: j.submitted_at(),
-                    running_slots: self.running_per_job.get(&j.id()).copied().unwrap_or(0),
-                    weight: j.weight(),
-                })
-                .collect();
-            let Some(job) = self.order.select(&snapshots) else { break };
-            match self.try_assign_one(job, now) {
-                Some(a) => {
-                    assignments.push(a);
-                    available -= 1;
-                }
-                None => {
-                    excluded.insert(job);
+        if available > 0 {
+            if self.snapshots_dirty {
+                self.rebuild_snapshots();
+            }
+            // Work on a copy of the cached snapshots: candidates drop out
+            // as they drain or fail to place, and running counts advance
+            // per assignment. Slice order is irrelevant — every `JobOrder`
+            // is a total order with an id tie-break — so `swap_remove`
+            // maintenance is safe.
+            let mut candidates = std::mem::take(&mut self.candidates_buf);
+            candidates.clear();
+            candidates.extend_from_slice(&self.snapshots);
+            if free == 0 && self.policy.approval_is_priority_based() {
+                // No free slot: a job can only place onto a reserved slot
+                // it owns or whose group approves its priority. Dropped
+                // candidates would fail `try_assign_one` unchanged, and
+                // the filter stays valid mid-round — assignments only
+                // consume slots (free stays 0, groups only shrink) — so
+                // the assignment sequence is identical to the unfiltered
+                // round.
+                candidates.retain(|c| self.viable_on_reserved(c.id, c.priority, now));
+            }
+            while available > 0 {
+                let Some(job) = self.order.select(&candidates) else { break };
+                let pos = candidates
+                    .iter()
+                    .position(|s| s.id == job)
+                    .expect("selected job is a candidate");
+                match self.try_assign_one(job, now) {
+                    Some(a) => {
+                        assignments.push(a);
+                        available -= 1;
+                        candidates[pos].running_slots += 1;
+                        let drained = self
+                            .jobs
+                            .get(job)
+                            .is_none_or(|state| !state.has_pending_tasks());
+                        if drained {
+                            candidates.swap_remove(pos);
+                        }
+                    }
+                    None => {
+                        candidates.swap_remove(pos);
+                    }
                 }
             }
+            self.candidates_buf = candidates;
         }
         if self.policy.mitigate_stragglers() {
             assignments.extend(self.launch_straggler_copies(now));
@@ -237,7 +284,45 @@ impl TaskScheduler {
         if self.speculation.is_some() {
             assignments.extend(self.launch_progress_speculation(now));
         }
+        if !assignments.is_empty() {
+            // Launches changed running counts / pending sets.
+            self.snapshots_dirty = true;
+        }
         assignments
+    }
+
+    /// Re-derives the cached snapshot vector of schedulable jobs.
+    fn rebuild_snapshots(&mut self) {
+        self.snapshots.clear();
+        let running_per_job = &self.running_per_job;
+        self.snapshots.extend(
+            self.jobs
+                .iter()
+                .filter(|j| !j.is_complete() && j.has_pending_tasks())
+                .map(|j| JobSnapshot {
+                    id: j.id(),
+                    priority: j.priority(),
+                    arrival: j.submitted_at(),
+                    running_slots: running_per_job.get(&j.id()).copied().unwrap_or(0),
+                    weight: j.weight(),
+                }),
+        );
+        self.snapshots_dirty = false;
+    }
+
+    /// With zero free slots: can `job` possibly place a task at all?
+    /// Only if it owns reservations, or some other job's reservation
+    /// group approves its priority (verdicts are group-uniform when the
+    /// policy declares priority-based approval).
+    fn viable_on_reserved(&self, job: JobId, priority: Priority, now: SimTime) -> bool {
+        if self.slots.has_reservations(job) {
+            return true;
+        }
+        self.slots.reservation_groups().any(|(owner, rprio, _)| {
+            let probe = Reservation::new(owner, rprio);
+            let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
+            self.policy.approve(&ctx, &probe, job, priority)
+        })
     }
 
     /// Finds the best placement for one pending task of `job` and applies
@@ -253,42 +338,9 @@ impl TaskScheduler {
             let demand = state.spec().stage(tsm.stage()).demand();
             let elapsed = now.saturating_since(tsm.ready_since());
             let allowed = self.locality.max_allowed_level(elapsed);
-            // Rank candidate slots by (locality level, ownership class,
-            // id): prefer the best locality; among equals consume our own
-            // reservations first, then free slots, then overridable
-            // reservations of others.
-            let mut best: Option<(LocalityLevel, u8, SlotId)> = None;
-            for (slot, slot_state) in self.slots.iter() {
-                // §III-C: a task only fits a slot of at least its demand.
-                if self.slots.size(slot) < demand {
-                    continue;
-                }
-                let class = match slot_state {
-                    s if s.is_free() => 1u8,
-                    s if s.is_running() => continue,
-                    s => {
-                        let r = s.reservation().expect("non-free non-running is reserved");
-                        let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
-                        if !self.policy.approve(&ctx, r, job, priority) {
-                            continue;
-                        }
-                        if r.job() == job {
-                            0u8
-                        } else {
-                            2u8
-                        }
-                    }
-                };
-                let level = level_for(&self.spec, tsm.preferred(), slot);
-                if level > allowed {
-                    continue;
-                }
-                let rank = (level, class, slot);
-                if best.is_none_or(|b| rank < b) {
-                    best = Some(rank);
-                }
-            }
-            if let Some((level, _, slot)) = best {
+            if let Some((slot, level)) =
+                self.best_candidate(job, priority, tsm, demand, allowed, now)
+            {
                 chosen = Some((tsm.stage(), slot, level));
                 break;
             }
@@ -307,6 +359,139 @@ impl TaskScheduler {
         Some(Assignment { slot, instance, level, speculative: false, warm: false })
     }
 
+    /// Ranks candidate slots for one task set from the pool's indexes,
+    /// reproducing the full-scan rank exactly: the minimum of
+    /// `(locality level, ownership class, slot id)` where class 0 = own
+    /// approved reservation, 1 = free, 2 = another job's approved
+    /// reservation.
+    ///
+    /// Free candidates are enumerated level by level from the per-node /
+    /// per-rack free lists. No exclusion is needed at the coarser levels:
+    /// the search returns at the *first* level with any candidate, so
+    /// reaching level L implies no free fitting slot exists at any better
+    /// level — a fit check alone suffices. Reserved slots (few, by the
+    /// §IV-B design) are ranked in one pass over the reserved index.
+    fn best_candidate(
+        &self,
+        job: JobId,
+        priority: Priority,
+        tsm: &TaskSetManager,
+        demand: u32,
+        allowed: LocalityLevel,
+        now: SimTime,
+    ) -> Option<(SlotId, LocalityLevel)> {
+        let preferred = tsm.preferred();
+        // Best approved reserved candidate per locality level: (class, id).
+        let mut reserved_best: [Option<(u8, SlotId)>; 4] = [None; 4];
+        if self.policy.approval_is_priority_based() {
+            // Verdicts are uniform per (owner, priority) reservation
+            // group: one ApprovalLogic call covers every slot of a group,
+            // and the owning job never needs one. Visits the same
+            // approved-slot set as the per-slot scan below, so the
+            // min-rank result is identical.
+            for (owner, rprio, _) in self.slots.reservation_groups() {
+                let class = if owner == job {
+                    0u8
+                } else {
+                    let probe = Reservation::new(owner, rprio);
+                    let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
+                    if !self.policy.approve(&ctx, &probe, job, priority) {
+                        continue;
+                    }
+                    2u8
+                };
+                for slot in self.slots.reserved_for(owner) {
+                    let r = self.slots.get(slot).reservation().expect("reserved index entry");
+                    if r.priority() != rprio {
+                        continue;
+                    }
+                    // §III-C: a task only fits a slot of at least its demand.
+                    if self.slots.size(slot) < demand {
+                        continue;
+                    }
+                    let level = tsm.level_on(&self.spec, slot);
+                    if level > allowed {
+                        continue;
+                    }
+                    let rank = (class, slot);
+                    let entry = &mut reserved_best[level as usize];
+                    if entry.is_none_or(|b| rank < b) {
+                        *entry = Some(rank);
+                    }
+                }
+            }
+        } else {
+            for slot in self.slots.reserved_slots() {
+                // §III-C: a task only fits a slot of at least its demand.
+                if self.slots.size(slot) < demand {
+                    continue;
+                }
+                let level = tsm.level_on(&self.spec, slot);
+                if level > allowed {
+                    continue;
+                }
+                let r = self.slots.get(slot).reservation().expect("reserved index entry");
+                let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
+                if !self.policy.approve(&ctx, r, job, priority) {
+                    continue;
+                }
+                let rank = (if r.job() == job { 0u8 } else { 2u8 }, slot);
+                let entry = &mut reserved_best[level as usize];
+                if entry.is_none_or(|b| rank < b) {
+                    *entry = Some(rank);
+                }
+            }
+        }
+        for &level in LocalityLevel::ALL.iter().filter(|&&l| l <= allowed) {
+            let free = match level {
+                // No preference: every slot is process-local.
+                LocalityLevel::ProcessLocal if preferred.is_empty() => {
+                    self.min_free_fitting(self.slots.free_slots(), demand)
+                }
+                LocalityLevel::ProcessLocal => preferred
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.slots.get(s).is_free() && self.slots.size(s) >= demand)
+                    .min(),
+                LocalityLevel::NodeLocal => tsm
+                    .pref_nodes()
+                    .iter()
+                    .filter_map(|&n| self.min_free_fitting(self.slots.free_on_node(n), demand))
+                    .min(),
+                LocalityLevel::RackLocal => tsm
+                    .pref_racks()
+                    .iter()
+                    .filter_map(|&r| self.min_free_fitting(self.slots.free_in_rack(r), demand))
+                    .min(),
+                LocalityLevel::Any => self.min_free_fitting(self.slots.free_slots(), demand),
+            };
+            let best = match (reserved_best[level as usize], free) {
+                (Some(r), Some(f)) => Some(r.min((1u8, f))),
+                (Some(r), None) => Some(r),
+                (None, Some(f)) => Some((1u8, f)),
+                (None, None) => None,
+            };
+            if let Some((_, slot)) = best {
+                return Some((slot, level));
+            }
+        }
+        None
+    }
+
+    /// The minimum free slot of size ≥ `demand` from an ascending
+    /// iterator over one of the pool's free lists.
+    fn min_free_fitting(
+        &self,
+        mut iter: impl Iterator<Item = SlotId>,
+        demand: u32,
+    ) -> Option<SlotId> {
+        if self.slots.uniform_size() {
+            // Homogeneous cluster: the first slot fits iff any does.
+            return iter.next().filter(|&s| self.slots.size(s) >= demand);
+        }
+        iter.find(|&s| self.slots.size(s) >= demand)
+    }
+
     /// §IV-C: for each job whose reserved-idle slots can cover all ongoing
     /// tasks of a phase (with no originals left to launch), runs one extra
     /// copy of each ongoing task on a reserved slot. Copies run on warm
@@ -314,24 +499,29 @@ impl TaskScheduler {
     /// or cold-JVM penalty.
     fn launch_straggler_copies(&mut self, now: SimTime) -> Vec<Assignment> {
         let mut out = Vec::new();
-        let job_ids: Vec<JobId> = self.jobs.iter().map(|j| j.id()).collect();
-        for job in job_ids {
-            let reserved: Vec<SlotId> = self.slots.reserved_for(job).collect();
-            if reserved.is_empty() {
-                continue;
-            }
-            let state = self.jobs.get(job).expect("job exists");
-            let mut plans: Vec<(StageId, u32)> = Vec::new();
-            let mut budget = reserved.len();
+        // Only jobs actually holding reservations can launch copies; the
+        // per-job reservation index lists them in ascending id order, the
+        // same relative order the all-jobs scan visited them in.
+        let mut job_ids = std::mem::take(&mut self.straggler_jobs_buf);
+        job_ids.clear();
+        job_ids.extend(self.slots.reservations_by_job().map(|(j, _)| j));
+        let mut remaining = std::mem::take(&mut self.straggler_slots_buf);
+        let mut plans = std::mem::take(&mut self.straggler_plans_buf);
+        for &job in &job_ids {
+            remaining.clear();
+            remaining.extend(self.slots.reserved_for(job));
+            // Skips reservation holders that are not schedulable jobs
+            // (the static-pool sentinel).
+            let Some(state) = self.jobs.get(job) else { continue };
+            plans.clear();
+            let mut budget = remaining.len();
             for tsm in state.active_tasksets() {
                 if tsm.has_pending() {
                     continue;
                 }
                 let demand = state.spec().stage(tsm.stage()).demand();
-                if reserved.iter().any(|&s| self.slots.size(s) < demand) && demand > 1 {
-                    // Mixed-size reserved pool: only count fitting slots.
-                }
-                let fitting = reserved.iter().filter(|&&s| self.slots.size(s) >= demand).count();
+                let fitting =
+                    remaining.iter().filter(|&&s| self.slots.size(s) >= demand).count();
                 let ongoing = tsm.ongoing_count();
                 if ongoing == 0 || fitting < ongoing || budget < ongoing {
                     continue;
@@ -343,8 +533,7 @@ impl TaskScheduler {
                 }
                 budget -= take;
             }
-            let mut remaining: Vec<SlotId> = reserved;
-            for (stage, partition) in plans {
+            for &(stage, partition) in &plans {
                 let demand = self
                     .jobs
                     .get(job)
@@ -380,6 +569,9 @@ impl TaskScheduler {
                 });
             }
         }
+        self.straggler_jobs_buf = job_ids;
+        self.straggler_slots_buf = remaining;
+        self.straggler_plans_buf = plans;
         out
     }
 
@@ -387,8 +579,11 @@ impl TaskScheduler {
     fn launch_progress_speculation(&mut self, now: SimTime) -> Vec<Assignment> {
         let Some(cfg) = self.speculation else { return Vec::new() };
         // Plan immutably first: (job, stage, partition, slot, level).
-        let mut plans: Vec<(JobId, StageId, u32, SlotId, LocalityLevel)> = Vec::new();
-        let mut free: Vec<SlotId> = self.slots.free_slots().collect();
+        let mut plans = std::mem::take(&mut self.spec_plans_buf);
+        plans.clear();
+        let mut free = std::mem::take(&mut self.spec_free_buf);
+        free.clear();
+        free.extend(self.slots.free_slots());
         for state in self.jobs.iter() {
             if state.is_complete() || free.is_empty() {
                 continue;
@@ -419,13 +614,13 @@ impl TaskScheduler {
                         continue;
                     };
                     let slot = free.remove(pos);
-                    let level = level_for(&self.spec, tsm.preferred(), slot);
+                    let level = tsm.level_on(&self.spec, slot);
                     plans.push((state.id(), tsm.stage(), partition, slot, level));
                 }
             }
         }
         let mut out = Vec::new();
-        for (job, stage, partition, slot, level) in plans {
+        for &(job, stage, partition, slot, level) in &plans {
             let tsm = self
                 .jobs
                 .get_mut(job)
@@ -438,6 +633,8 @@ impl TaskScheduler {
             *self.running_per_job.entry(job).or_insert(0) += 1;
             out.push(Assignment { slot, instance, level, speculative: true, warm: false });
         }
+        self.spec_plans_buf = plans;
+        self.spec_free_buf = free;
         out
     }
 
@@ -453,6 +650,9 @@ impl TaskScheduler {
             .remove(&slot)
             .unwrap_or_else(|| panic!("task_finished on {slot} with no running instance"));
         let task = ri.instance.task;
+        // Running counts, pending sets and completion states all change
+        // here: the cached job snapshots are stale.
+        self.snapshots_dirty = true;
         self.slots.finish(slot).expect("slot was running");
         self.dec_running(task.job);
         let duration = now.saturating_since(ri.started);
@@ -490,7 +690,7 @@ impl TaskScheduler {
             let parallelism = state.spec().stage(ready_stage).parallelism();
             let preferred = self.placement.preferred_slots(task.job, &parents);
             let tsm = TaskSetManager::new(task.job, ready_stage, parallelism, now)
-                .with_preferred(preferred);
+                .with_preferred(preferred, &self.spec);
             self.jobs.get_mut(task.job).expect("job exists").insert_taskset(tsm, now);
             // The phase has started: stop pre-reserving for it.
             self.prereserve.remove(&(task.job, ready_stage));
@@ -508,14 +708,17 @@ impl TaskScheduler {
                 .stats_mut(task.stage)
                 .mark_completed(now);
             // Reservations that were held *for* this phase are now stale.
+            // The per-job index yields ascending slot ids, like the old
+            // full scan.
             let stale: Vec<SlotId> = self
                 .slots
-                .iter()
-                .filter(|(_, st)| {
-                    st.reservation()
-                        .is_some_and(|r| r.job() == task.job && r.stage() == Some(task.stage))
+                .reserved_for(task.job)
+                .filter(|&s| {
+                    self.slots
+                        .get(s)
+                        .reservation()
+                        .is_some_and(|r| r.stage() == Some(task.stage))
                 })
-                .map(|(s, _)| s)
                 .collect();
             for s in stale {
                 self.slots.release(s).expect("stale reservation is releasable");
@@ -591,10 +794,13 @@ impl TaskScheduler {
         if self.prereserve.is_empty() {
             return;
         }
-        let mut free: Vec<(SlotId, u32)> =
-            self.slots.free_slots().map(|s| (s, self.slots.size(s))).collect();
-        let keys: Vec<(JobId, StageId)> = self.prereserve.keys().copied().collect();
-        for key in keys {
+        let mut free = std::mem::take(&mut self.prereserve_free_buf);
+        free.clear();
+        free.extend(self.slots.free_slots().map(|s| (s, self.slots.size(s))));
+        let mut keys = std::mem::take(&mut self.prereserve_keys_buf);
+        keys.clear();
+        keys.extend(self.prereserve.keys().copied());
+        for &key in &keys {
             let entry = *self.prereserve.get(&key).expect("key just listed");
             let mut granted = entry.granted;
             while granted < entry.target {
@@ -613,6 +819,8 @@ impl TaskScheduler {
             }
             self.prereserve.get_mut(&key).expect("key just listed").granted = granted;
         }
+        self.prereserve_free_buf = free;
+        self.prereserve_keys_buf = keys;
     }
 
     /// Releases reservations whose deadline has passed; returns freed
@@ -624,10 +832,7 @@ impl TaskScheduler {
     /// The earliest reservation deadline currently pending, for event
     /// scheduling.
     pub fn next_reservation_expiry(&self) -> Option<SimTime> {
-        self.slots
-            .iter()
-            .filter_map(|(_, s)| s.reservation().and_then(|r| r.deadline()))
-            .min()
+        self.slots.next_deadline()
     }
 
     /// The earliest future instant at which some pending task unlocks a
@@ -660,9 +865,15 @@ impl TaskScheduler {
         &self.locality
     }
 
-    /// The slot table (states and reservations).
-    pub fn slot_table(&self) -> &SlotTable {
+    /// The slot pool (states, reservations and indexes).
+    pub fn slot_pool(&self) -> &SlotPool {
         &self.slots
+    }
+
+    /// Per-job running-slot counts, keyed by job id — the O(1) source the
+    /// simulator samples its timeseries from.
+    pub fn running_per_job(&self) -> &BTreeMap<JobId, usize> {
+        &self.running_per_job
     }
 
     /// All admitted jobs.
@@ -816,7 +1027,7 @@ mod tests {
         // Slot is reserved for the foreground job; background is refused.
         let b = s.resource_offers(SimTime::from_secs(1));
         assert!(b.is_empty(), "reservation must block the background job, got {b:?}");
-        let (_, _, reserved) = s.slot_table().counts();
+        let (_, _, reserved) = s.slot_pool().counts();
         assert_eq!(reserved, 1);
         // After expiry the slot goes to the background job.
         assert_eq!(s.next_reservation_expiry(), Some(SimTime::from_secs(31)));
@@ -835,7 +1046,7 @@ mod tests {
             Box::new(StaticReservation::new(2, Priority::new(10))),
             Box::new(FifoPriority),
         );
-        let (_, _, reserved) = s.slot_table().counts();
+        let (_, _, reserved) = s.slot_pool().counts();
         assert_eq!(reserved, 2);
         // A low-priority job can only use the 2 unreserved slots.
         let low = s.submit(one_stage_job("bg", 4, 0), SimTime::ZERO);
@@ -848,7 +1059,7 @@ mod tests {
         assert!(b.iter().all(|x| x.instance.task.job == high));
         // Pool slots are re-reserved after the class task finishes.
         s.task_finished(b[0].slot, SimTime::from_secs(1));
-        let (_, _, reserved) = s.slot_table().counts();
+        let (_, _, reserved) = s.slot_pool().counts();
         assert_eq!(reserved, 1);
         let _ = (low, high);
     }
@@ -1005,7 +1216,7 @@ mod tests {
         assert_eq!(a.len(), 1, "only the large slot fits");
         assert_eq!(a[0].slot, SlotId::new(0));
         // The small slots stay free even though tasks are pending.
-        assert_eq!(s.slot_table().free_slots().count(), 3);
+        assert_eq!(s.slot_pool().free_slots().count(), 3);
         // Serial execution through the single large slot.
         s.task_finished(a[0].slot, SimTime::from_secs(1));
         let b = s.resource_offers(SimTime::from_secs(1));

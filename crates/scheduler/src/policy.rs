@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use ssr_cluster::{Reservation, SlotId, SlotTable};
+use ssr_cluster::{Reservation, SlotId, SlotPool};
 use ssr_dag::{JobId, Priority, StageId, TaskId};
 use ssr_simcore::{SimDuration, SimTime};
 
@@ -58,8 +58,8 @@ pub struct PreReserveRequest {
 pub struct PolicyCtx<'a> {
     /// Current simulation time.
     pub now: SimTime,
-    /// The slot table (states, reservations).
-    pub slots: &'a SlotTable,
+    /// The slot pool (states, reservations, indexes).
+    pub slots: &'a SlotPool,
     /// All admitted jobs.
     pub jobs: &'a Jobs,
 }
@@ -103,6 +103,22 @@ pub trait ReservationPolicy: fmt::Debug {
     ) -> bool {
         let _ = ctx;
         job == reservation.job() || priority > reservation.priority()
+    }
+
+    /// `true` iff this policy's [`approve`](Self::approve) verdict is a
+    /// pure function of the candidate's `(job, priority)` and the
+    /// reservation's `(job, priority)` — it never consults `ctx`, the
+    /// specific slot, or any mutable policy state, and the owning job is
+    /// always approved on its own reservations.
+    ///
+    /// Declaring this lets the scheduler evaluate ApprovalLogic once per
+    /// `(owner, priority)` reservation *group* instead of once per
+    /// reserved slot, and to skip candidates that cannot match any group
+    /// when no free slots remain. The default is conservative (`false`:
+    /// one `approve` call per slot); a policy overriding [`approve`] with
+    /// slot- or time-dependent logic must leave it that way.
+    fn approval_is_priority_based(&self) -> bool {
+        false
     }
 
     /// Called after `task`'s completion was processed; returns a
@@ -157,6 +173,10 @@ impl ReservationPolicy for WorkConserving {
         "work-conserving"
     }
 
+    fn approval_is_priority_based(&self) -> bool {
+        true // uses the default (pure) approval rule
+    }
+
     fn on_task_completed(
         &mut self,
         _ctx: &PolicyCtx<'_>,
@@ -190,6 +210,10 @@ impl TimeoutReservation {
 impl ReservationPolicy for TimeoutReservation {
     fn name(&self) -> &'static str {
         "timeout-reservation"
+    }
+
+    fn approval_is_priority_based(&self) -> bool {
+        true // uses the default (pure) approval rule
     }
 
     fn on_task_completed(
@@ -238,6 +262,12 @@ impl ReservationPolicy for StaticReservation {
         "static-reservation"
     }
 
+    fn approval_is_priority_based(&self) -> bool {
+        // The pool-sentinel branch still only compares priorities against
+        // the reservation's owner and priority — pure in the same sense.
+        true
+    }
+
     fn initial_static_pool(&self, total_slots: u32) -> Option<(u32, Priority)> {
         Some((self.pool.min(total_slots), self.class))
     }
@@ -284,8 +314,8 @@ mod tests {
     use ssr_dag::JobSpecBuilder;
     use ssr_simcore::dist::constant;
 
-    fn ctx_fixture() -> (SlotTable, Jobs) {
-        let slots = SlotTable::new(&ClusterSpec::new(2, 2).unwrap());
+    fn ctx_fixture() -> (SlotPool, Jobs) {
+        let slots = SlotPool::new(&ClusterSpec::new(2, 2).unwrap());
         let mut jobs = Jobs::new();
         let spec = JobSpecBuilder::new("j")
             .priority(Priority::new(5))
@@ -389,6 +419,13 @@ mod tests {
         // Ordinary reservations keep the default rule.
         let r = Reservation::new(JobId::new(1), Priority::new(5));
         assert!(!p.approve(&ctx, &r, JobId::new(2), Priority::new(5)));
+    }
+
+    #[test]
+    fn baselines_declare_priority_based_approval() {
+        assert!(WorkConserving.approval_is_priority_based());
+        assert!(TimeoutReservation::new(SimDuration::from_secs(1)).approval_is_priority_based());
+        assert!(StaticReservation::new(1, Priority::new(1)).approval_is_priority_based());
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! (the original plus speculative copies); the first to finish wins and the
 //! rest are killed.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
-use ssr_cluster::SlotId;
+use ssr_cluster::{ClusterSpec, LocalityLevel, NodeId, RackId, SlotId};
 use ssr_dag::{JobId, StageId, TaskId};
 use ssr_simcore::SimTime;
 
@@ -73,6 +73,8 @@ pub struct TaskSetManager {
     pending: Vec<u32>,
     partitions: Vec<Partition>,
     preferred: HashSet<SlotId>,
+    pref_nodes: BTreeSet<NodeId>,
+    pref_racks: BTreeSet<RackId>,
     finished_count: u32,
 }
 
@@ -106,14 +108,38 @@ impl TaskSetManager {
                 .map(|_| Partition { running: Vec::new(), next_attempt: 0, finished: false })
                 .collect(),
             preferred: HashSet::new(),
+            pref_nodes: BTreeSet::new(),
+            pref_racks: BTreeSet::new(),
             finished_count: 0,
         }
     }
 
-    /// Sets the preferred slots (those holding upstream outputs).
-    pub fn with_preferred(mut self, preferred: HashSet<SlotId>) -> Self {
+    /// Sets the preferred slots (those holding upstream outputs), caching
+    /// their node and rack projections so per-slot locality lookups need
+    /// no scan over the preference set.
+    pub fn with_preferred(mut self, preferred: HashSet<SlotId>, spec: &ClusterSpec) -> Self {
+        self.pref_nodes = preferred.iter().map(|&s| spec.node_of(s)).collect();
+        self.pref_racks = self.pref_nodes.iter().map(|&n| spec.rack_of(n)).collect();
         self.preferred = preferred;
         self
+    }
+
+    /// The locality level `slot` offers this phase's tasks — pointwise
+    /// equal to [`ssr_cluster::locality::level_for`] over
+    /// [`preferred`](Self::preferred), but answered from the cached node
+    /// and rack projections instead of scanning the preference set.
+    pub fn level_on(&self, spec: &ClusterSpec, slot: SlotId) -> LocalityLevel {
+        if self.preferred.is_empty() || self.preferred.contains(&slot) {
+            return LocalityLevel::ProcessLocal;
+        }
+        let node = spec.node_of(slot);
+        if self.pref_nodes.contains(&node) {
+            return LocalityLevel::NodeLocal;
+        }
+        if self.pref_racks.contains(&spec.rack_of(node)) {
+            return LocalityLevel::RackLocal;
+        }
+        LocalityLevel::Any
     }
 
     /// The owning job.
@@ -134,6 +160,16 @@ impl TaskSetManager {
     /// The preferred slots of this phase's tasks.
     pub fn preferred(&self) -> &HashSet<SlotId> {
         &self.preferred
+    }
+
+    /// The nodes hosting preferred slots, in ascending order.
+    pub fn pref_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.pref_nodes
+    }
+
+    /// The racks hosting preferred slots, in ascending order.
+    pub fn pref_racks(&self) -> &BTreeSet<RackId> {
+        &self.pref_racks
     }
 
     /// Number of tasks not yet launched (originals only).
@@ -377,9 +413,29 @@ mod tests {
 
     #[test]
     fn preferred_slots_attach() {
+        let spec = ClusterSpec::new(1, 8).unwrap();
         let preferred: HashSet<SlotId> = [SlotId::new(4)].into_iter().collect();
-        let t = tsm(1).with_preferred(preferred.clone());
+        let t = tsm(1).with_preferred(preferred.clone(), &spec);
         assert_eq!(t.preferred(), &preferred);
+    }
+
+    #[test]
+    fn level_on_matches_the_reference_scan() {
+        // 4 nodes x 2 slots, racks of 2 nodes — same fixture as the
+        // locality tests.
+        let spec = ClusterSpec::with_racks(4, 2, 2).unwrap();
+        let preferred: HashSet<SlotId> = [SlotId::new(0)].into_iter().collect();
+        let t = tsm(1).with_preferred(preferred.clone(), &spec);
+        for slot in spec.iter_slots() {
+            assert_eq!(
+                t.level_on(&spec, slot),
+                ssr_cluster::locality::level_for(&spec, &preferred, slot),
+                "slot {slot}"
+            );
+        }
+        // No preference: process-local everywhere.
+        let free = tsm(1);
+        assert_eq!(free.level_on(&spec, SlotId::new(5)), LocalityLevel::ProcessLocal);
     }
 
     #[test]

@@ -168,7 +168,10 @@ impl Simulation {
             sched = sched.with_speculation(spec_cfg);
         }
         let total_slots = config.cluster.total_slots() as usize;
-        let mut events = EventQueue::with_capacity(jobs.len() * 2 + 16);
+        // Recycle the event-queue allocation across trials on this thread:
+        // a benchmark or figure grid runs thousands of simulations, each
+        // pushing one finish event per task instance.
+        let mut events = recycled_event_queue(jobs.len() * 2 + 16);
         for (i, job) in jobs.iter().enumerate() {
             events.push(job.arrival(), Event::JobArrival(i));
         }
@@ -339,7 +342,7 @@ impl Simulation {
     fn integrate_to(&mut self, t: SimTime) {
         let dt = t.saturating_since(self.last_integrated).as_secs_f64();
         if dt > 0.0 {
-            let (free, running, reserved) = self.sched.slot_table().counts();
+            let (free, running, reserved) = self.sched.slot_pool().counts();
             self.collector.busy_slot_secs += running as f64 * dt;
             self.collector.reserved_idle_slot_secs += reserved as f64 * dt;
             self.collector.free_slot_secs += free as f64 * dt;
@@ -351,10 +354,13 @@ impl Simulation {
         if self.tracked.is_empty() {
             return;
         }
+        // One pass over the engine's per-job running map instead of a
+        // per-tracked-job lookup on every event.
+        let per_job = self.sched.running_per_job();
         let running: Vec<(String, usize)> = self
             .tracked
             .iter()
-            .map(|(id, name)| (name.clone(), self.sched.running_count_for(*id)))
+            .map(|(id, name)| (name.clone(), per_job.get(id).copied().unwrap_or(0)))
             .collect();
         self.collector.timeseries.push(TimeSample {
             time_secs: self.now.as_secs_f64(),
@@ -403,6 +409,8 @@ impl Simulation {
         // Close the occupancy integral at the last event time.
         let end = self.now;
         self.integrate_to(end);
+        // Hand the event-queue allocation back for the next trial.
+        recycle_event_queue(std::mem::take(&mut self.events));
         // Report unfinished jobs too.
         let mut jobs: Vec<JobResult> =
             self.collector.results.iter().map(|(_, r)| r.clone()).collect();
@@ -449,6 +457,31 @@ fn locality_index(level: LocalityLevel) -> usize {
         LocalityLevel::RackLocal => 2,
         LocalityLevel::Any => 3,
     }
+}
+
+thread_local! {
+    /// One recycled event queue per worker thread; trials on a thread run
+    /// sequentially, so a single slot suffices.
+    static QUEUE_POOL: std::cell::RefCell<Option<EventQueue<Event>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Takes the thread's recycled event queue (or builds one), reset to the
+/// fresh-queue state with capacity for at least `cap` events.
+fn recycled_event_queue(cap: usize) -> EventQueue<Event> {
+    QUEUE_POOL.with(|pool| {
+        let mut q = pool.borrow_mut().take().unwrap_or_default();
+        q.reset();
+        q.reserve(cap);
+        q
+    })
+}
+
+/// Returns a finished trial's queue to the thread's pool.
+fn recycle_event_queue(q: EventQueue<Event>) {
+    QUEUE_POOL.with(|pool| {
+        *pool.borrow_mut() = Some(q);
+    });
 }
 
 #[cfg(test)]

@@ -100,6 +100,24 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Restores the fresh-queue state — no pending events, sequence
+    /// counter back at zero — while keeping the heap allocation, so a
+    /// recycled queue behaves identically to a newly constructed one.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
+    /// Reserves capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// The number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -159,6 +177,29 @@ mod tests {
         q.push(SimTime::ZERO, 1);
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reset_restores_fresh_queue_behavior() {
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..50 {
+            q.push(SimTime::from_secs(1), i);
+        }
+        let cap = q.capacity();
+        q.reset();
+        assert!(q.is_empty());
+        assert!(q.capacity() >= cap, "reset must keep the allocation");
+        // Tie-break sequence restarts at zero: interleaving with a fresh
+        // queue yields identical pop orders.
+        let mut fresh = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_secs(2), i);
+            fresh.push(SimTime::from_secs(2), i);
+        }
+        while let Some(expected) = fresh.pop() {
+            assert_eq!(q.pop(), Some(expected));
+        }
         assert_eq!(q.pop(), None);
     }
 }

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("t={now}  stage of {} completed", outcome.instance);
             }
         }
-        let (free, running, reserved) = sched.slot_table().counts();
+        let (free, running, reserved) = sched.slot_pool().counts();
         println!("t={now}  slots: {free} free / {running} running / {reserved} reserved");
         step += 1;
         assert!(step < 100, "demo should finish quickly");

@@ -59,10 +59,10 @@ fn drive(
         // have been approved — we verify the consequence: the running task
         // per slot is unique (slot table enforces) and snapshots are
         // consistent.
-        let (free, running, reserved) = sched.slot_table().counts();
+        let (free, running, reserved) = sched.slot_pool().counts();
         assert_eq!(
             free + running + reserved,
-            sched.slot_table().len(),
+            sched.slot_pool().len(),
             "slot accounting broken"
         );
 
@@ -78,7 +78,7 @@ fn drive(
                 .sum();
             if pending > 0 {
                 assert_eq!(
-                    sched.slot_table().free_slots().count(),
+                    sched.slot_pool().free_slots().count(),
                     0,
                     "work-conserving left {pending} tasks backlogged with free slots"
                 );
@@ -177,7 +177,7 @@ proptest! {
             sched2.task_finished(victim, SimTime::from_micros(now_us));
         }
         prop_assert!(!sched2.has_unfinished_jobs());
-        let (free, running, reserved) = sched2.slot_table().counts();
+        let (free, running, reserved) = sched2.slot_pool().counts();
         prop_assert_eq!((free, running, reserved), (6, 0, 0), "reservations leaked");
     }
 
@@ -216,7 +216,7 @@ proptest! {
             // round must never be handed to the lower-priority job
             // (nothing outranks fg here, so only fg may consume them).
             let reserved_before: std::collections::HashSet<SlotId> =
-                sched.slot_table().reserved_for(fg_id).collect();
+                sched.slot_pool().reserved_for(fg_id).collect();
             let assignments = sched.resource_offers(SimTime::from_micros(now_us));
             for a in &assignments {
                 if a.instance.task.job != fg_id {
@@ -236,7 +236,7 @@ proptest! {
             sched.task_finished(victim, SimTime::from_micros(now_us));
         }
         // After fg completes, its reservations are gone.
-        prop_assert_eq!(sched.slot_table().reserved_for(fg_id).count(), 0);
+        prop_assert_eq!(sched.slot_pool().reserved_for(fg_id).count(), 0);
     }
 }
 

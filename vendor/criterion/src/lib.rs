@@ -8,9 +8,46 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results accumulated across all groups of a bench binary, flushed to
+/// JSON by [`flush_json`] when `CRITERION_OUTPUT_JSON` names a path.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// `cargo bench -- --test` compatibility: run each benchmark body exactly
+/// once as a smoke test, with no timing loop.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Writes every recorded result as JSON to the path named by the
+/// `CRITERION_OUTPUT_JSON` environment variable (no-op when unset).
+/// Called by the `criterion_main!` expansion after all groups finish.
+#[doc(hidden)]
+pub fn flush_json() {
+    let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") else { return };
+    let results = RESULTS.lock().expect("results lock");
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, (name, per_iter_ns, iters)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{escaped}\", \"per_iter_ns\": {per_iter_ns:.1}, \"iters\": {iters}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)
+        .unwrap_or_else(|e| panic!("writing benchmark JSON to {path}: {e}"));
+}
 
 /// Per-iteration time budget control (API compatibility only; the
 /// stand-in treats all variants identically).
@@ -54,14 +91,15 @@ impl Bencher {
         Bencher { iters_run: 0, elapsed: Duration::ZERO }
     }
 
-    /// Times `routine` repeatedly until the budget is spent.
+    /// Times `routine` repeatedly until the budget is spent (or once,
+    /// under `-- --test`).
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         let start = Instant::now();
         loop {
             black_box(routine());
             self.iters_run += 1;
             self.elapsed = start.elapsed();
-            if self.elapsed >= BUDGET {
+            if self.elapsed >= BUDGET || smoke_mode() {
                 break;
             }
         }
@@ -79,7 +117,7 @@ impl Bencher {
             black_box(routine(input));
             self.elapsed += start.elapsed();
             self.iters_run += 1;
-            if self.elapsed >= BUDGET {
+            if self.elapsed >= BUDGET || smoke_mode() {
                 break;
             }
         }
@@ -90,8 +128,17 @@ impl Bencher {
             println!("{name}: no iterations run");
             return;
         }
+        if smoke_mode() {
+            println!("{name}: ok (smoke test, 1 iter)");
+            return;
+        }
         let per_iter = self.elapsed / u32::try_from(self.iters_run).unwrap_or(u32::MAX);
         println!("{name}: {per_iter:?}/iter ({} iters)", self.iters_run);
+        RESULTS.lock().expect("results lock").push((
+            name.to_owned(),
+            self.elapsed.as_nanos() as f64 / self.iters_run as f64,
+            self.iters_run,
+        ));
     }
 }
 
@@ -155,12 +202,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed benchmark groups.
+/// Declares `main` running the listed benchmark groups, then flushing the
+/// optional JSON report (`CRITERION_OUTPUT_JSON`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_json();
         }
     };
 }
