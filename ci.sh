@@ -7,6 +7,9 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
 
+echo "==> ssr-lint (determinism contract)"
+cargo run -q --release -p ssr-lint --offline
+
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 

@@ -110,7 +110,7 @@ pub fn mitigation_study(
     }
     let pareto =
         Pareto::new(1.0, alpha).map_err(|e| ModelError::new(format!("bad shape: {e}")))?;
-    let mut rng = SimRng::seed_from_u64(seed);
+    let mut rng = SimRng::stream(seed, 0);
     let mut sum_t = 0.0;
     let mut sum_tp = 0.0;
     for _ in 0..runs {

@@ -19,10 +19,12 @@
 //! deterministically: stdout is byte-identical at every worker count.
 //! Timing output goes to stderr only, so it never perturbs that guarantee.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
-use std::time::Instant;
 
 use ssr_bench::figures;
+use ssr_sim::walltime::Stopwatch;
 
 struct Args {
     ids: Vec<String>,
@@ -78,10 +80,10 @@ fn main() -> ExitCode {
     };
     // Figures are independent of one another: run them all on the worker
     // pool, then print in request order.
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let rendered = ssr_sim::par_map(ssr_sim::worker_count(), &ids, |id| {
-        let figure_started = Instant::now();
-        (figures::run(id), figure_started.elapsed().as_secs_f64())
+        let figure_started = Stopwatch::start();
+        (figures::run(id), figure_started.elapsed_secs())
     });
     for (id, (output, wall)) in ids.iter().zip(&rendered) {
         match output {
@@ -101,7 +103,7 @@ fn main() -> ExitCode {
     if args.timing {
         eprintln!(
             "[timing] total {:.2}s on {} worker(s)",
-            started.elapsed().as_secs_f64(),
+            started.elapsed_secs(),
             ssr_sim::worker_count()
         );
     }

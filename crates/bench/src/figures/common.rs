@@ -72,7 +72,7 @@ pub fn background_jobs(jobs: u32, runtime_factor: f64, seed: u64) -> Vec<JobSpec
     config.horizon = SimDuration::from_secs(scaled(600, 3600) as u64);
     config.median_tasks = scaled(20, 40);
     config.duration_scale_secs = 10.0;
-    let mut rng = SimRng::seed_from_u64(seed);
+    let mut rng = SimRng::stream(seed, 0);
     GoogleTraceGenerator::new(config).generate(&mut rng).expect("valid trace")
 }
 
@@ -87,7 +87,7 @@ pub fn background_jobs_large(
         .with_priority(BG_PRIORITY)
         .with_runtime_factor(runtime_factor);
     config.duration_scale_secs = 10.0;
-    let mut rng = SimRng::seed_from_u64(seed);
+    let mut rng = SimRng::stream(seed, 0);
     GoogleTraceGenerator::new(config).generate(&mut rng).expect("valid trace")
 }
 

@@ -32,7 +32,7 @@ pub fn run() -> String {
 }
 
 pub(crate) fn run_seeded(seed: u64) -> String {
-    let mut rng = SimRng::seed_from_u64(seed);
+    let mut rng = SimRng::stream(seed, 0);
     let mut table =
         Table::new(["app", "phase", "median slowdown", "p90 slowdown", "max slowdown"]);
     let mut global_max: f64 = 0.0;

@@ -8,7 +8,10 @@
 //!     --bg maponly:tasks=64,secs=60 --json
 //! ssr-cli tradeoff --alpha 1.6 --n 20
 //! ssr-cli deadline --p 0.9 --tm 2 --alpha 1.6 --n 20
+//! ssr-cli lint [--format json]
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod opts;
 mod spec;
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "tradeoff" => cmd_tradeoff(rest),
         "deadline" => cmd_deadline(rest),
+        "lint" => return ssr_lint::run_cli(rest),
         "--help" | "-h" | "help" => {
             usage();
             return ExitCode::SUCCESS;
@@ -52,6 +56,7 @@ fn usage() {
          \x20 run       simulate a workload mix (see flags below)\n\
          \x20 tradeoff  print the Eq. 4 isolation/utilization curve\n\
          \x20 deadline  print the Eq. 2 reservation deadline for a target P\n\
+         \x20 lint      run the workspace determinism linter (ssr-lint)\n\
          \n\
          run flags:\n\
          \x20 --cluster NxS        nodes x slots-per-node (default 4x2)\n\

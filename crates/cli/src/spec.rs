@@ -141,7 +141,7 @@ pub fn parse(spec: &str) -> Result<Vec<JobSpec>, SpecError> {
                 .with_runtime_factor(o.num("factor", 1.0f64)?);
             let mut config = config;
             config.horizon = SimDuration::from_secs_f64(o.num("horizon", 3600.0f64)?);
-            let mut rng = SimRng::seed_from_u64(o.num("seed", 7u64)?);
+            let mut rng = SimRng::stream(o.num("seed", 7u64)?, 0);
             GoogleTraceGenerator::new(config)
                 .generate(&mut rng)
                 .map_err(|e| err(format!("google: {e}")))

@@ -10,7 +10,7 @@
 //! two orders of magnitude (Fig. 6) and modelled as a conservative 5× (10×
 //! in the amplified setting) in simulation (§VI-B).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use ssr_simcore::dist::{constant, DynDistribution};
@@ -209,12 +209,17 @@ impl Default for LocalityModel {
 /// Computes the best locality level `candidate` can offer for a task that
 /// prefers `preferred` slots (the slots holding its upstream outputs).
 ///
+/// The preference set is ordered (`BTreeSet`) so that every scan over it
+/// is deterministic; the membership tests below are order-independent
+/// either way, but the ordered type keeps the whole preference path
+/// inside the replay contract (lint D001).
+///
 /// An empty preference means the task has no data affinity (e.g. a root
 /// phase reading evenly from a distributed store) and runs at
 /// `PROCESS_LOCAL` anywhere.
 pub fn level_for(
     spec: &ClusterSpec,
-    preferred: &HashSet<SlotId>,
+    preferred: &BTreeSet<SlotId>,
     candidate: SlotId,
 ) -> LocalityLevel {
     if preferred.is_empty() || preferred.contains(&candidate) {
@@ -250,7 +255,7 @@ mod tests {
     #[test]
     fn level_for_each_distance() {
         let spec = spec();
-        let preferred: HashSet<SlotId> = [SlotId::new(0)].into_iter().collect();
+        let preferred: BTreeSet<SlotId> = [SlotId::new(0)].into_iter().collect();
         assert_eq!(level_for(&spec, &preferred, SlotId::new(0)), LocalityLevel::ProcessLocal);
         assert_eq!(level_for(&spec, &preferred, SlotId::new(1)), LocalityLevel::NodeLocal);
         assert_eq!(level_for(&spec, &preferred, SlotId::new(2)), LocalityLevel::RackLocal);
@@ -261,7 +266,7 @@ mod tests {
     fn empty_preference_is_process_local() {
         let spec = spec();
         assert_eq!(
-            level_for(&spec, &HashSet::new(), SlotId::new(5)),
+            level_for(&spec, &BTreeSet::new(), SlotId::new(5)),
             LocalityLevel::ProcessLocal
         );
     }

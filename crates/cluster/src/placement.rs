@@ -7,7 +7,7 @@
 //! resumed on the same slots, and why losing those slots to a lower
 //! priority job hurts so much.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ssr_dag::{JobId, StageId};
 
@@ -32,7 +32,9 @@ use crate::topology::SlotId;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DataPlacement {
-    outputs: HashMap<(JobId, StageId), Vec<SlotId>>,
+    // Ordered map: iteration and clearing visit entries in key order, so
+    // nothing downstream can observe a hash-seed-dependent order (D001).
+    outputs: BTreeMap<(JobId, StageId), Vec<SlotId>>,
 }
 
 impl DataPlacement {
@@ -55,13 +57,14 @@ impl DataPlacement {
     }
 
     /// The slots holding the outputs of the given upstream stages of
-    /// `job` — the preferred slots of a downstream task.
+    /// `job` — the preferred slots of a downstream task, in ascending
+    /// slot order so every consumer iterates deterministically.
     ///
     /// In Spark, a shuffle (wide) dependency reads from *all* upstream
     /// partitions, so the preference is the union over all parents;
     /// unknown partitions (never recorded) are skipped.
-    pub fn preferred_slots(&self, job: JobId, parents: &[StageId]) -> HashSet<SlotId> {
-        let mut preferred = HashSet::new();
+    pub fn preferred_slots(&self, job: JobId, parents: &[StageId]) -> BTreeSet<SlotId> {
+        let mut preferred = BTreeSet::new();
         for &stage in parents {
             if let Some(slots) = self.outputs.get(&(job, stage)) {
                 preferred.extend(slots.iter().copied().filter(|s| s.as_u32() != u32::MAX));

@@ -1,0 +1,703 @@
+//! The determinism lint passes and the suppression-directive machinery.
+//!
+//! Every pass is a conservative, flow-insensitive pattern match over the
+//! token stream of one file (see [`crate::lexer`]). The passes prefer
+//! false positives over false negatives: a finding that is provably
+//! harmless is silenced *with a reason* via
+//! `// ssr-lint: allow(CODE, reason = "…")`, which keeps the
+//! justification next to the code it excuses.
+//!
+//! `#[cfg(test)]` modules and `#[test]` functions are exempt: the
+//! byte-identical-replay contract governs shipped simulation code, and
+//! test-only nondeterminism is caught by the golden regression tests.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::report::Diagnostic;
+
+/// Crates whose code is on the deterministic replay path: anything that
+/// executes between seed and report must be a pure function of its
+/// inputs. D001 applies only here.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["cluster", "core", "dag", "scheduler", "sim", "simcore", "workload"];
+
+/// The only files allowed to read the wall clock (D002). Timing flows
+/// through `ssr_sim::walltime` so stderr `--timing` output can never
+/// leak into deterministic results.
+pub const TIMING_ONLY_FILES: &[&str] = &["crates/sim/src/walltime.rs"];
+
+/// The only file allowed to spawn threads or use channels (D003): the
+/// deterministic trial runner, whose order-preserving merge is what
+/// makes worker counts invisible in the output.
+pub const THREADING_FILES: &[&str] = &["crates/sim/src/runner.rs"];
+
+/// The home of RNG stream derivation (D005). Everyone else constructs
+/// generators through `SimRng::stream`/`SimRng::fork`.
+pub const RNG_HOME_FILES: &[&str] = &["crates/simcore/src/rng.rs"];
+
+/// All lint codes, in report order.
+pub const CODES: &[&str] = &["D001", "D002", "D003", "D004", "D005", "S001", "L001"];
+
+/// Hash-collection iteration methods whose visit order is
+/// nondeterministic (D001).
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Comparator-taking order operations (D004 context).
+const ORDERING_CALLS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "binary_search_by",
+    "select_nth_unstable_by",
+];
+
+/// The result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed findings, sorted by (line, col, code).
+    pub findings: Vec<Diagnostic>,
+    /// Findings silenced by an `allow` directive.
+    pub suppressed: usize,
+    /// Every parsed suppression directive, so callers can audit that
+    /// each one carries a reason.
+    pub directives: Vec<Suppression>,
+}
+
+/// One parsed `// ssr-lint: allow(CODE, reason = "…")` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The lint code being silenced.
+    pub code: String,
+    /// The justification, if given (`None` is itself an L001 finding).
+    pub reason: Option<String>,
+    /// The line whose findings this directive silences: its own line for
+    /// a trailing comment, the next line for a standalone comment.
+    pub applies_line: u32,
+    /// The line the directive comment sits on.
+    pub line: u32,
+}
+
+/// Lints a single file given its workspace-relative path (which decides
+/// crate scoping) and source text. This is the unit the fixture tests
+/// drive directly.
+pub fn lint_source(rel_path: &str, source: &str) -> FileOutcome {
+    let rel = rel_path.replace('\\', "/");
+    let lexed = lex(source);
+    let exempt = exempt_ranges(&lexed.tokens);
+    let in_exempt = |line: u32| exempt.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+
+    let (directives, mut raw) = parse_directives(&rel, &lexed);
+
+    let crate_name = crate_of(&rel);
+    let deterministic =
+        crate_name.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+
+    if deterministic {
+        check_d001(&rel, &lexed, &mut raw);
+    }
+    if !TIMING_ONLY_FILES.contains(&rel.as_str()) {
+        check_d002(&rel, &lexed.tokens, &mut raw);
+    }
+    if !THREADING_FILES.contains(&rel.as_str()) {
+        check_d003(&rel, &lexed.tokens, &mut raw);
+    }
+    check_d004(&rel, &lexed.tokens, &mut raw);
+    if !RNG_HOME_FILES.contains(&rel.as_str()) {
+        check_d005(&rel, &lexed.tokens, &mut raw);
+    }
+    check_s001(&rel, &lexed.tokens, &mut raw);
+
+    raw.retain(|d| !in_exempt(d.line));
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for diag in raw {
+        let silenced = directives
+            .iter()
+            .any(|dir| dir.code == diag.code && dir.applies_line == diag.line);
+        if silenced {
+            suppressed += 1;
+        } else {
+            findings.push(diag);
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.line, a.col, a.code.as_str()).cmp(&(b.line, b.col, b.code.as_str()))
+    });
+    FileOutcome { findings, suppressed, directives }
+}
+
+/// The crate directory name for a `crates/<name>/…` path.
+fn crate_of(rel: &str) -> Option<&str> {
+    let mut parts = rel.split('/');
+    if parts.next() != Some("crates") {
+        return None;
+    }
+    parts.next()
+}
+
+/// `true` for crate-root files: `src/lib.rs`, `src/main.rs`, or a
+/// `src/bin/*.rs` binary root — the places a `#![forbid(unsafe_code)]`
+/// attribute must live.
+fn is_crate_root(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", _, "src", file] => *file == "lib.rs" || *file == "main.rs",
+        ["crates", _, "src", "bin", file] => file.ends_with(".rs"),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------
+
+/// Extracts directives from line comments; malformed or reasonless
+/// directives produce L001 findings.
+fn parse_directives(rel: &str, lexed: &Lexed) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut directives = Vec::new();
+    let mut diags = Vec::new();
+    for comment in &lexed.comments {
+        // Directives live in plain `//` comments only; doc comments may
+        // *describe* the syntax without being directives.
+        if comment.text.starts_with("///") || comment.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = comment.text.find("ssr-lint:") else { continue };
+        let rest = comment.text[at + "ssr-lint:".len()..].trim();
+        let applies_line = if comment.own_line { comment.line + 1 } else { comment.line };
+        match parse_allow(rest) {
+            Ok((code, reason)) => {
+                if !CODES.contains(&code.as_str()) {
+                    diags.push(Diagnostic::new(
+                        "L001",
+                        rel,
+                        comment.line,
+                        comment.col,
+                        format!("unknown lint code `{code}` in ssr-lint directive"),
+                        format!("known codes: {}", CODES.join(", ")),
+                    ));
+                    continue;
+                }
+                if reason.is_none() {
+                    diags.push(Diagnostic::new(
+                        "L001",
+                        rel,
+                        comment.line,
+                        comment.col,
+                        format!("suppression of {code} without a reason"),
+                        format!(
+                            "write `// ssr-lint: allow({code}, reason = \"why this is \
+                             deterministic\")` — every exception to the replay contract \
+                             must carry its justification"
+                        ),
+                    ));
+                }
+                directives.push(Suppression {
+                    code,
+                    reason,
+                    applies_line,
+                    line: comment.line,
+                });
+            }
+            Err(why) => {
+                diags.push(Diagnostic::new(
+                    "L001",
+                    rel,
+                    comment.line,
+                    comment.col,
+                    format!("malformed ssr-lint directive: {why}"),
+                    "expected `// ssr-lint: allow(CODE, reason = \"…\")`".to_owned(),
+                ));
+            }
+        }
+    }
+    (directives, diags)
+}
+
+/// Parses `allow(CODE)` / `allow(CODE, reason = "…")`.
+fn parse_allow(text: &str) -> Result<(String, Option<String>), String> {
+    let rest = text
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(...)`".to_owned())?
+        .trim_start();
+    let rest = rest.strip_prefix('(').ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = rest.rfind(')').ok_or_else(|| "missing closing `)`".to_owned())?;
+    let inner = &rest[..close];
+    let mut parts = inner.splitn(2, ',');
+    let code = parts.next().unwrap_or("").trim().to_owned();
+    if code.is_empty() {
+        return Err("missing lint code".to_owned());
+    }
+    let reason = match parts.next() {
+        None => None,
+        Some(arg) => {
+            let arg = arg.trim();
+            let value = arg
+                .strip_prefix("reason")
+                .map(str::trim_start)
+                .and_then(|a| a.strip_prefix('='))
+                .map(str::trim)
+                .ok_or_else(|| "expected `reason = \"…\"`".to_owned())?;
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| "reason must be a double-quoted string".to_owned())?;
+            if value.trim().is_empty() {
+                return Err("reason must not be empty".to_owned());
+            }
+            Some(value.to_owned())
+        }
+    };
+    Ok((code, reason))
+}
+
+// ---------------------------------------------------------------------
+// Test-region exemption
+// ---------------------------------------------------------------------
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn exempt_ranges(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_punct("#") && tokens[i + 1].is_punct("[") && is_test_attr(tokens, i + 2)
+        {
+            let start_line = tokens[i].line;
+            let mut j = skip_attr(tokens, i);
+            // Skip any further attributes stacked on the same item.
+            while j + 1 < tokens.len()
+                && tokens[j].is_punct("#")
+                && tokens[j + 1].is_punct("[")
+            {
+                j = skip_attr(tokens, j);
+            }
+            // Find the item body `{…}` (or a `;` for body-less items).
+            while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+                j += 1;
+            }
+            let end_line = if j < tokens.len() && tokens[j].is_punct("{") {
+                let close = matching_brace(tokens, j);
+                let line = tokens[close.min(tokens.len() - 1)].line;
+                i = close + 1;
+                line
+            } else {
+                let line = tokens[j.min(tokens.len() - 1)].line;
+                i = j + 1;
+                line
+            };
+            ranges.push((start_line, end_line));
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// `true` if the attribute starting at `i` (just past `#[`) is
+/// `cfg(test…` or `test]`.
+fn is_test_attr(tokens: &[Tok], i: usize) -> bool {
+    if tokens.get(i).is_some_and(|t| t.is_ident("test"))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("]"))
+    {
+        return true;
+    }
+    tokens.get(i).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("test"))
+        && tokens
+            .get(i + 3)
+            .is_some_and(|t| t.is_punct(")") || t.is_punct(","))
+}
+
+/// Returns the index just past the `]` closing the attribute whose `#`
+/// is at `i`.
+fn skip_attr(tokens: &[Tok], i: usize) -> usize {
+    let mut j = i + 2; // past `#[`
+    let mut depth = 1i32;
+    while j < tokens.len() && depth > 0 {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Returns the index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len() - 1
+}
+
+// ---------------------------------------------------------------------
+// D001 — hash-collection iteration in deterministic-path crates
+// ---------------------------------------------------------------------
+
+/// Names bound to a `HashMap`/`HashSet` in this file, collected from
+/// type ascriptions (`name: HashMap<…>`, fields and parameters alike),
+/// constructor bindings (`let name = HashMap::new()`), and turbofish
+/// collects (`let name = …collect::<HashMap<…>>()`).
+fn hash_tainted_names(tokens: &[Tok]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut add = |name: &str| {
+        if !name.is_empty() && !names.iter().any(|n| n == name) {
+            names.push(name.to_owned());
+        }
+    };
+    for (i, tok) in tokens.iter().enumerate() {
+        if !(tok.is_ident("HashMap") || tok.is_ident("HashSet")) {
+            continue;
+        }
+        // Pattern A: `name: [&mut] [path::]Hash…` — walk back over the
+        // path prefix to the `:`.
+        let mut j = i;
+        while j >= 1 {
+            let prev = &tokens[j - 1];
+            if prev.is_punct("::") && j >= 2 && tokens[j - 2].kind == TokKind::Ident {
+                j -= 2;
+            } else if prev.is_punct("&")
+                || prev.is_ident("mut")
+                || prev.kind == TokKind::Lifetime
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 2 && tokens[j - 1].is_punct(":") && tokens[j - 2].kind == TokKind::Ident {
+            add(&tokens[j - 2].text);
+            continue;
+        }
+        // Pattern C: `collect::<Hash…>` — rewind to the `collect` call.
+        let mut anchor = i;
+        if i >= 3
+            && tokens[i - 1].is_punct("<")
+            && tokens[i - 2].is_punct("::")
+            && tokens[i - 3].is_ident("collect")
+        {
+            anchor = i - 3;
+        } else {
+            // Pattern B requires a constructor: `Hash…::new()` etc.
+            let ctor = tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && tokens.get(i + 2).is_some_and(|t| {
+                    t.is_ident("new")
+                        || t.is_ident("with_capacity")
+                        || t.is_ident("default")
+                        || t.is_ident("from")
+                        || t.is_ident("from_iter")
+                });
+            if !ctor {
+                continue;
+            }
+        }
+        // Walk back from the anchor to the `let` opening this statement.
+        let mut k = anchor;
+        while k > 0 {
+            let t = &tokens[k - 1];
+            if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                break;
+            }
+            k -= 1;
+            if tokens[k].is_ident("let") {
+                let mut n = k + 1;
+                if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                if let Some(name_tok) = tokens.get(n) {
+                    if name_tok.kind == TokKind::Ident {
+                        add(&name_tok.text);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    names
+}
+
+fn check_d001(rel: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    let tokens = &lexed.tokens;
+    let tainted = hash_tainted_names(tokens);
+    if tainted.is_empty() {
+        return;
+    }
+    let is_tainted = |t: &Tok| t.kind == TokKind::Ident && tainted.contains(&t.text);
+
+    for (i, tok) in tokens.iter().enumerate() {
+        // `name.iter()` and friends.
+        if tok.kind == TokKind::Ident
+            && HASH_ITER_METHODS.contains(&tok.text.as_str())
+            && i >= 2
+            && tokens[i - 1].is_punct(".")
+            && is_tainted(&tokens[i - 2])
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            out.push(Diagnostic::new(
+                "D001",
+                rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "iteration over hash collection `{}` via `.{}()` — visit order \
+                     is nondeterministic in a deterministic-path crate",
+                    tokens[i - 2].text, tok.text
+                ),
+                "use BTreeMap/BTreeSet (or collect and sort) so replay order is fixed; \
+                 if the result is provably order-independent, annotate with \
+                 `// ssr-lint: allow(D001, reason = \"…\")`"
+                    .to_owned(),
+            ));
+        }
+        // `for x in [&[mut]] name {`.
+        if tok.is_ident("for") {
+            let mut j = i + 1;
+            let mut guard = 0;
+            while j < tokens.len() && !tokens[j].is_ident("in") && !tokens[j].is_punct("{") {
+                j += 1;
+                guard += 1;
+                if guard > 40 {
+                    break;
+                }
+            }
+            if j >= tokens.len() || !tokens[j].is_ident("in") {
+                continue;
+            }
+            let mut k = j + 1;
+            while tokens.get(k).is_some_and(|t| t.is_punct("&") || t.is_ident("mut")) {
+                k += 1;
+            }
+            // A dotted path such as `self.outputs`; remember the last
+            // identifier before the loop body.
+            let mut last_ident: Option<&Tok> = None;
+            while k < tokens.len() {
+                if tokens[k].kind == TokKind::Ident {
+                    last_ident = Some(&tokens[k]);
+                    k += 1;
+                } else if tokens[k].is_punct(".") {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            if tokens.get(k).is_some_and(|t| t.is_punct("{")) {
+                if let Some(name) = last_ident {
+                    if is_tainted(name) {
+                        out.push(Diagnostic::new(
+                            "D001",
+                            rel,
+                            tok.line,
+                            tok.col,
+                            format!(
+                                "`for … in {}` iterates a hash collection — visit order \
+                                 is nondeterministic in a deterministic-path crate",
+                                name.text
+                            ),
+                            "use BTreeMap/BTreeSet (or collect and sort) so replay order \
+                             is fixed; if the loop body is provably order-independent, \
+                             annotate with `// ssr-lint: allow(D001, reason = \"…\")`"
+                                .to_owned(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D002 — wall-clock reads outside the timing module
+// ---------------------------------------------------------------------
+
+fn check_d002(rel: &str, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
+    for tok in tokens {
+        if tok.is_ident("Instant") || tok.is_ident("SystemTime") {
+            out.push(Diagnostic::new(
+                "D002",
+                rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "wall-clock access (`{}`) outside the sanctioned timing module — \
+                     real time must never influence simulated results",
+                    tok.text
+                ),
+                format!(
+                    "route timing through `ssr_sim::walltime` (the only file on the \
+                     timing allowlist: {})",
+                    TIMING_ONLY_FILES.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D003 — threads/channels outside the trial runner
+// ---------------------------------------------------------------------
+
+fn check_d003(rel: &str, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        let hit = if tok.is_ident("thread") {
+            i >= 2 && tokens[i - 1].is_punct("::") && tokens[i - 2].is_ident("std")
+        } else if tok.is_ident("spawn") || tok.is_ident("scope") {
+            i >= 2 && tokens[i - 1].is_punct("::") && tokens[i - 2].is_ident("thread")
+        } else {
+            tok.is_ident("mpsc")
+        };
+        if hit {
+            out.push(Diagnostic::new(
+                "D003",
+                rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "thread/channel use (`{}`) outside the trial runner — parallelism \
+                     is only sound behind the order-preserving merge in {}",
+                    tok.text,
+                    THREADING_FILES.join(", ")
+                ),
+                "express parallelism as independent trials through \
+                 `ssr_sim::runner::par_map`, which merges results in input order"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D004 — float ordering hazards
+// ---------------------------------------------------------------------
+
+fn check_d004(rel: &str, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_ident("partial_cmp") {
+            continue;
+        }
+        // Walk backwards through enclosing call parentheses looking for
+        // a comparator-taking order operation; `partial_cmp` inside its
+        // closure is the hazard (panic or bogus order on NaN).
+        let mut depth = 0i32;
+        let mut found: Option<&str> = None;
+        let lo = i.saturating_sub(150);
+        let mut j = i;
+        while j > lo {
+            j -= 1;
+            let t = &tokens[j];
+            if t.is_punct(")") {
+                depth += 1;
+            } else if t.is_punct("(") {
+                depth -= 1;
+                if depth < 0 {
+                    if let Some(prev) = j.checked_sub(1).and_then(|p| tokens.get(p)) {
+                        if prev.kind == TokKind::Ident
+                            && ORDERING_CALLS.contains(&prev.text.as_str())
+                        {
+                            found = Some(prev.text.as_str());
+                            break;
+                        }
+                    }
+                }
+            } else if t.is_ident("fn") {
+                break;
+            }
+        }
+        if let Some(call) = found {
+            out.push(Diagnostic::new(
+                "D004",
+                rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "`partial_cmp` inside `{call}` — NaN makes the comparator panic or \
+                     produce an unspecified order"
+                ),
+                "compare floats with `f64::total_cmp` (a total order), or sort on an \
+                 integer key"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D005 — RNG construction outside stream derivation
+// ---------------------------------------------------------------------
+
+fn check_d005(rel: &str, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
+    for tok in tokens {
+        if tok.is_ident("seed_from_u64") {
+            out.push(Diagnostic::new(
+                "D005",
+                rel,
+                tok.line,
+                tok.col,
+                "raw RNG construction (`seed_from_u64`) outside `simcore::rng` — \
+                 ad-hoc seeding breaks the one-stream-per-trial discipline"
+                    .to_owned(),
+                "derive generators with `SimRng::stream(root_seed, index)` (or `fork` \
+                 from an existing stream); `stream(seed, 0)` is the root stream for a \
+                 user-provided seed"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// S001 — missing #![forbid(unsafe_code)] on crate roots
+// ---------------------------------------------------------------------
+
+fn check_s001(rel: &str, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
+    if !is_crate_root(rel) {
+        return;
+    }
+    let has = tokens.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    });
+    if !has {
+        out.push(Diagnostic::new(
+            "S001",
+            rel,
+            1,
+            1,
+            "crate root without `#![forbid(unsafe_code)]` — unsafe code could smuggle \
+             in platform-dependent behaviour"
+                .to_owned(),
+            "add `#![forbid(unsafe_code)]` at the top of the crate root".to_owned(),
+        ));
+    }
+}

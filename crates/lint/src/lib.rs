@@ -1,0 +1,219 @@
+//! # ssr-lint
+//!
+//! The workspace determinism linter: mechanically enforces the
+//! byte-identical-replay contract that every figure in this reproduction
+//! rests on. A simulation must be a pure function of its seed — so
+//! outputs are byte-identical at `--jobs 1/2/8` and across re-runs — and
+//! this crate turns that convention into a build failure.
+//!
+//! A self-contained token-level lexer (no external dependencies beyond
+//! the vendored `serde` stubs used for JSON output) walks every
+//! `crates/*/src` file and reports coded diagnostics:
+//!
+//! | code | finding |
+//! |------|---------|
+//! | D001 | `HashMap`/`HashSet` iteration in a deterministic-path crate |
+//! | D002 | wall-clock reads (`Instant::now`, `SystemTime`) outside `sim/src/walltime.rs` |
+//! | D003 | threads/channels outside `sim/src/runner.rs` |
+//! | D004 | `partial_cmp` inside a sort/min/max comparator |
+//! | D005 | RNG construction (`seed_from_u64`) outside `simcore::rng` |
+//! | S001 | crate root missing `#![forbid(unsafe_code)]` |
+//! | L001 | malformed or reasonless suppression directive |
+//!
+//! Each finding is individually suppressible on its line (or from a
+//! standalone comment on the line above) with
+//! `// ssr-lint: allow(CODE, reason = "…")` — a suppression without a
+//! reason is itself an L001 finding.
+//!
+//! # Example
+//!
+//! ```
+//! let out = ssr_lint::lint_source(
+//!     "crates/scheduler/src/example.rs",
+//!     "pub fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+//!          m.keys().copied().collect()\n\
+//!      }\n",
+//! );
+//! assert_eq!(out.findings.len(), 1);
+//! assert_eq!(out.findings[0].code, "D001");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod checks;
+pub mod lexer;
+pub mod report;
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+pub use checks::{
+    lint_source, FileOutcome, Suppression, CODES, DETERMINISTIC_CRATES, RNG_HOME_FILES,
+    THREADING_FILES, TIMING_ONLY_FILES,
+};
+pub use report::{Diagnostic, Report};
+
+/// A whole-workspace lint run: the report plus every suppression
+/// directive encountered, for auditing that each carries a reason.
+#[derive(Debug)]
+pub struct WorkspaceOutcome {
+    /// The aggregated report.
+    pub report: Report,
+    /// `(file, directive)` pairs across the workspace.
+    pub suppressions: Vec<(String, Suppression)>,
+}
+
+/// Lints every `.rs` file under `<root>/crates/*/src`, in sorted path
+/// order, so the report is identical across runs and platforms.
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceOutcome> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs_files(&dir.join("src"), &mut files)?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut suppressions = Vec::new();
+    let files_scanned = files.len();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(path)?;
+        let outcome = lint_source(&rel, &source);
+        findings.extend(outcome.findings);
+        suppressed += outcome.suppressed;
+        suppressions.extend(outcome.directives.into_iter().map(|d| (rel.clone(), d)));
+    }
+    Ok(WorkspaceOutcome {
+        report: Report::new(findings, files_scanned, suppressed),
+        suppressions,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Runs the linter as a command-line tool; shared by the `ssr-lint`
+/// binary and the `ssr-cli lint` subcommand.
+///
+/// Flags: `--root PATH` (default: nearest workspace root), `--format
+/// text|json` (default text). Exits nonzero on any unsuppressed finding.
+pub fn run_cli(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" => format.clone_from(f),
+                _ => {
+                    eprintln!("error: --format requires `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "ssr-lint — workspace determinism linter\n\
+                     \n\
+                     usage: ssr-lint [--root PATH] [--format text|json]\n\
+                     \n\
+                     Walks crates/*/src and enforces the byte-identical-replay\n\
+                     contract (codes D001-D005, S001, L001; see EXPERIMENTS.md\n\
+                     \"The determinism contract\"). Exits nonzero on any\n\
+                     unsuppressed finding."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let outcome = match lint_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format.as_str() {
+        "json" => print!("{}", outcome.report.render_json()),
+        _ => print!("{}", outcome.report.render_text()),
+    }
+    if outcome.report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,11 @@
+//! The `ssr-lint` binary: walk the workspace, report determinism
+//! violations, exit nonzero if any are unsuppressed.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ssr_lint::run_cli(&args)
+}

@@ -1,0 +1,112 @@
+//! Diagnostics and report rendering.
+//!
+//! The JSON schema is deliberately small and stable:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "findings": [
+//!     { "code": "D001", "file": "crates/…", "line": 7, "col": 9,
+//!       "message": "…", "hint": "…" }
+//!   ],
+//!   "files_scanned": 42,
+//!   "suppressed": 3
+//! }
+//! ```
+//!
+//! Findings are sorted by `(file, line, col, code)` and serialization
+//! goes through the vendored `serde_json`, so two runs over the same
+//! tree produce byte-identical output.
+
+use serde::Serialize;
+
+/// One lint finding at a precise source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// The lint code (`D001`…`D005`, `S001`, `L001`).
+    pub code: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or justify it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        code: &str,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: String,
+        hint: String,
+    ) -> Self {
+        Diagnostic { code: code.to_owned(), file: file.to_owned(), line, col, message, hint }
+    }
+}
+
+/// A whole-workspace lint report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Report {
+    /// Bumped only on breaking JSON layout changes.
+    pub schema_version: u32,
+    /// Unsuppressed findings, sorted by `(file, line, col, code)`.
+    pub findings: Vec<Diagnostic>,
+    /// Number of `.rs` files visited.
+    pub files_scanned: usize,
+    /// Findings silenced by `allow` directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Creates a report, sorting `findings` into canonical order.
+    pub fn new(mut findings: Vec<Diagnostic>, files_scanned: usize, suppressed: usize) -> Self {
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.col, a.code.as_str())
+                .cmp(&(b.file.as_str(), b.line, b.col, b.code.as_str()))
+        });
+        Report { schema_version: 1, findings, files_scanned, suppressed }
+    }
+
+    /// `true` when the workspace honours the determinism contract.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: one `file:line:col: CODE message` block
+    /// per finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: {} {}\n  hint: {}\n",
+                d.file, d.line, d.col, d.code, d.message, d.hint
+            ));
+        }
+        out.push_str(&format!(
+            "ssr-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Stable JSON rendering through the vendored `serde_json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which for this tree of plain
+    /// strings and integers cannot happen.
+    pub fn render_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+}

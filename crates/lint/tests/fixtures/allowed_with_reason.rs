@@ -1,0 +1,8 @@
+//! Suppression fixture: a reasoned allow silences its finding cleanly.
+
+use std::collections::HashSet;
+
+pub fn total(s: &HashSet<u64>) -> u64 {
+    // ssr-lint: allow(D001, reason = "summation is commutative, order cannot matter")
+    s.iter().sum()
+}

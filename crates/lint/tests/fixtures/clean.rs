@@ -1,0 +1,22 @@
+//! Clean fixture: a crate root that honours the whole contract.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub fn sum_values(counts: &BTreeMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub fn sort_floats(values: &mut Vec<f64>) {
+    values.sort_by(f64::total_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only wall-clock use is exempt from D002.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

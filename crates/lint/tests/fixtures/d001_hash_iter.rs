@@ -1,0 +1,11 @@
+//! D001 fixture: hash-collection iteration in a deterministic-path crate.
+
+use std::collections::HashMap;
+
+pub fn sum_values(counts: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for pair in counts {
+        total += pair.1;
+    }
+    total + counts.values().sum::<u64>()
+}

@@ -1,0 +1,6 @@
+//! D002 fixture: wall-clock access outside the timing module.
+
+pub fn seconds_since_start() -> f64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,5 @@
+//! D003 fixture: thread use outside the trial runner.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

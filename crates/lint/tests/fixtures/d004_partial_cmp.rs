@@ -1,0 +1,5 @@
+//! D004 fixture: `partial_cmp` inside a comparator closure.
+
+pub fn sort_floats(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

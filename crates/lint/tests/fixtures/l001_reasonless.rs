@@ -1,0 +1,8 @@
+//! L001 fixture: a suppression without a reason (the finding it targets
+//! is still silenced, but the directive itself is reported).
+
+use std::collections::HashMap;
+
+pub fn count(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count() // ssr-lint: allow(D001)
+}

@@ -1,0 +1,3 @@
+//! S001 fixture: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn nothing() {}

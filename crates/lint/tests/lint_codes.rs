@@ -1,0 +1,168 @@
+//! One fixture per lint code: each code fires where it should and stays
+//! quiet on the clean fixture.
+
+use ssr_lint::lint_source;
+
+fn codes(outcome: &ssr_lint::FileOutcome) -> Vec<&str> {
+    outcome.findings.iter().map(|d| d.code.as_str()).collect()
+}
+
+#[test]
+fn d001_fires_on_hash_iteration() {
+    let out = lint_source(
+        "crates/scheduler/src/fixture.rs",
+        include_str!("fixtures/d001_hash_iter.rs"),
+    );
+    let codes = codes(&out);
+    assert_eq!(codes, ["D001", "D001"], "for-loop and .values() both fire: {:?}", out.findings);
+    // Findings carry precise locations and actionable hints.
+    assert!(out.findings.iter().all(|d| d.line > 0 && d.col > 0));
+    assert!(out.findings.iter().all(|d| d.hint.contains("BTreeMap")));
+}
+
+#[test]
+fn d001_is_scoped_to_deterministic_crates() {
+    // The same source in a non-deterministic-path crate is fine: the CLI
+    // may iterate hashes when formatting output.
+    let out = lint_source(
+        "crates/cli/src/fixture.rs",
+        include_str!("fixtures/d001_hash_iter.rs"),
+    );
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+}
+
+#[test]
+fn d002_fires_on_wall_clock() {
+    let out = lint_source(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/d002_instant.rs"),
+    );
+    assert!(!out.findings.is_empty());
+    assert!(codes(&out).iter().all(|c| *c == "D002"), "got {:?}", out.findings);
+    assert!(out.findings[0].hint.contains("walltime"));
+}
+
+#[test]
+fn d002_allows_the_timing_module() {
+    let out = lint_source(
+        "crates/sim/src/walltime.rs",
+        include_str!("fixtures/d002_instant.rs"),
+    );
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+}
+
+#[test]
+fn d003_fires_on_threads() {
+    let out = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d003_thread.rs"),
+    );
+    assert!(!out.findings.is_empty());
+    assert!(codes(&out).iter().all(|c| *c == "D003"), "got {:?}", out.findings);
+}
+
+#[test]
+fn d003_allows_the_trial_runner() {
+    let out = lint_source(
+        "crates/sim/src/runner.rs",
+        include_str!("fixtures/d003_thread.rs"),
+    );
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+}
+
+#[test]
+fn d004_fires_on_partial_cmp_comparator() {
+    let out = lint_source(
+        "crates/simcore/src/fixture.rs",
+        include_str!("fixtures/d004_partial_cmp.rs"),
+    );
+    assert_eq!(codes(&out), ["D004"], "got {:?}", out.findings);
+    assert!(out.findings[0].hint.contains("total_cmp"));
+}
+
+#[test]
+fn d004_is_quiet_on_total_cmp() {
+    let out = lint_source(
+        "crates/simcore/src/fixture.rs",
+        "pub fn sort_floats(values: &mut Vec<f64>) {\n    values.sort_by(f64::total_cmp);\n}\n",
+    );
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+}
+
+#[test]
+fn d005_fires_on_raw_seeding() {
+    let out = lint_source(
+        "crates/workload/src/fixture.rs",
+        include_str!("fixtures/d005_seed.rs"),
+    );
+    assert_eq!(codes(&out), ["D005"], "got {:?}", out.findings);
+    assert!(out.findings[0].hint.contains("SimRng::stream"));
+}
+
+#[test]
+fn d005_allows_the_rng_home() {
+    let out = lint_source(
+        "crates/simcore/src/rng.rs",
+        include_str!("fixtures/d005_seed.rs"),
+    );
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+}
+
+#[test]
+fn s001_fires_on_crate_root_without_forbid() {
+    let src = include_str!("fixtures/s001_missing_forbid.rs");
+    let out = lint_source("crates/demo/src/lib.rs", src);
+    assert_eq!(codes(&out), ["S001"], "got {:?}", out.findings);
+    // Non-root files in the same crate are not required to carry it.
+    let out = lint_source("crates/demo/src/helpers.rs", src);
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+    // Binary roots are.
+    let out = lint_source("crates/demo/src/bin/tool.rs", src);
+    assert_eq!(codes(&out), ["S001"]);
+}
+
+#[test]
+fn l001_fires_on_reasonless_allow_but_still_suppresses() {
+    let out = lint_source(
+        "crates/dag/src/fixture.rs",
+        include_str!("fixtures/l001_reasonless.rs"),
+    );
+    assert_eq!(codes(&out), ["L001"], "got {:?}", out.findings);
+    assert_eq!(out.suppressed, 1, "the D001 it targets is still silenced");
+    assert!(out.directives.len() == 1 && out.directives[0].reason.is_none());
+}
+
+#[test]
+fn l001_fires_on_unknown_code_and_malformed_directives() {
+    let out = lint_source(
+        "crates/dag/src/fixture.rs",
+        "// ssr-lint: allow(D999, reason = \"no such code\")\npub fn f() {}\n",
+    );
+    assert_eq!(codes(&out), ["L001"]);
+    let out = lint_source(
+        "crates/dag/src/fixture.rs",
+        "// ssr-lint: deny(D001)\npub fn f() {}\n",
+    );
+    assert_eq!(codes(&out), ["L001"]);
+}
+
+#[test]
+fn reasoned_allow_is_clean() {
+    let out = lint_source(
+        "crates/cluster/src/fixture.rs",
+        include_str!("fixtures/allowed_with_reason.rs"),
+    );
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+    assert_eq!(out.suppressed, 1);
+    assert_eq!(
+        out.directives[0].reason.as_deref(),
+        Some("summation is commutative, order cannot matter")
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let out = lint_source("crates/demo/src/lib.rs", include_str!("fixtures/clean.rs"));
+    assert!(out.findings.is_empty(), "unexpected: {:?}", out.findings);
+    assert_eq!(out.suppressed, 0);
+}

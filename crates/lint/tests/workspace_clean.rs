@@ -1,0 +1,58 @@
+//! The workspace-level regression: the tree this crate ships in must
+//! itself satisfy the determinism contract, every suppression must carry
+//! a reason, and the JSON report must be byte-stable.
+
+use std::path::Path;
+
+use ssr_lint::{find_workspace_root, lint_workspace};
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/lint lives inside the workspace")
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let outcome = lint_workspace(&workspace_root()).expect("workspace lints");
+    assert!(
+        outcome.report.is_clean(),
+        "determinism contract violated:\n{}",
+        outcome.report.render_text()
+    );
+    assert!(outcome.report.files_scanned > 0);
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let outcome = lint_workspace(&workspace_root()).expect("workspace lints");
+    for (file, sup) in &outcome.suppressions {
+        assert!(
+            sup.reason.as_deref().is_some_and(|r| !r.trim().is_empty()),
+            "{file}:{}: allow({}) without a reason",
+            sup.line,
+            sup.code
+        );
+    }
+}
+
+#[test]
+fn json_report_is_byte_stable_across_runs() {
+    let root = workspace_root();
+    let a = lint_workspace(&root).expect("first run").report;
+    let b = lint_workspace(&root).expect("second run").report;
+    assert_eq!(a, b);
+    assert_eq!(a.render_json(), b.render_json());
+}
+
+#[test]
+fn json_report_round_trips_through_vendored_serde_json() {
+    // The binary's `--format json` output is exactly the vendored
+    // serde_json serialization of the in-memory report (plus a trailing
+    // newline), so downstream tooling sees one canonical byte stream.
+    let outcome = lint_workspace(&workspace_root()).expect("workspace lints");
+    let direct = serde_json::to_string_pretty(&outcome.report).expect("serializes");
+    assert_eq!(outcome.report.render_json(), format!("{direct}\n"));
+    for key in ["schema_version", "findings", "files_scanned", "suppressed"] {
+        assert!(direct.contains(key), "schema key `{key}` missing from {direct}");
+    }
+}

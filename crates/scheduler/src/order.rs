@@ -94,8 +94,7 @@ impl JobOrder for Fair {
             .min_by(|a, b| {
                 let sa = a.running_slots as f64 / a.weight.max(1e-9);
                 let sb = b.running_slots as f64 / b.weight.max(1e-9);
-                sa.partial_cmp(&sb)
-                    .expect("shares are finite")
+                sa.total_cmp(&sb)
                     .then(a.arrival.cmp(&b.arrival))
                     .then(a.id.cmp(&b.id))
             })

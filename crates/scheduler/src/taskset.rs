@@ -7,7 +7,7 @@
 //! (the original plus speculative copies); the first to finish wins and the
 //! rest are killed.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 use ssr_cluster::{ClusterSpec, LocalityLevel, NodeId, RackId, SlotId};
 use ssr_dag::{JobId, StageId, TaskId};
@@ -72,7 +72,7 @@ pub struct TaskSetManager {
     ready_since: SimTime,
     pending: Vec<u32>,
     partitions: Vec<Partition>,
-    preferred: HashSet<SlotId>,
+    preferred: BTreeSet<SlotId>,
     pref_nodes: BTreeSet<NodeId>,
     pref_racks: BTreeSet<RackId>,
     finished_count: u32,
@@ -107,7 +107,7 @@ impl TaskSetManager {
             partitions: (0..parallelism)
                 .map(|_| Partition { running: Vec::new(), next_attempt: 0, finished: false })
                 .collect(),
-            preferred: HashSet::new(),
+            preferred: BTreeSet::new(),
             pref_nodes: BTreeSet::new(),
             pref_racks: BTreeSet::new(),
             finished_count: 0,
@@ -116,8 +116,9 @@ impl TaskSetManager {
 
     /// Sets the preferred slots (those holding upstream outputs), caching
     /// their node and rack projections so per-slot locality lookups need
-    /// no scan over the preference set.
-    pub fn with_preferred(mut self, preferred: HashSet<SlotId>, spec: &ClusterSpec) -> Self {
+    /// no scan over the preference set. The set is ordered, so every
+    /// walk over it happens in ascending slot order (lint D001).
+    pub fn with_preferred(mut self, preferred: BTreeSet<SlotId>, spec: &ClusterSpec) -> Self {
         self.pref_nodes = preferred.iter().map(|&s| spec.node_of(s)).collect();
         self.pref_racks = self.pref_nodes.iter().map(|&n| spec.rack_of(n)).collect();
         self.preferred = preferred;
@@ -158,7 +159,7 @@ impl TaskSetManager {
     }
 
     /// The preferred slots of this phase's tasks.
-    pub fn preferred(&self) -> &HashSet<SlotId> {
+    pub fn preferred(&self) -> &BTreeSet<SlotId> {
         &self.preferred
     }
 
@@ -414,7 +415,7 @@ mod tests {
     #[test]
     fn preferred_slots_attach() {
         let spec = ClusterSpec::new(1, 8).unwrap();
-        let preferred: HashSet<SlotId> = [SlotId::new(4)].into_iter().collect();
+        let preferred: BTreeSet<SlotId> = [SlotId::new(4)].into_iter().collect();
         let t = tsm(1).with_preferred(preferred.clone(), &spec);
         assert_eq!(t.preferred(), &preferred);
     }
@@ -424,7 +425,7 @@ mod tests {
         // 4 nodes x 2 slots, racks of 2 nodes — same fixture as the
         // locality tests.
         let spec = ClusterSpec::with_racks(4, 2, 2).unwrap();
-        let preferred: HashSet<SlotId> = [SlotId::new(0)].into_iter().collect();
+        let preferred: BTreeSet<SlotId> = [SlotId::new(0)].into_iter().collect();
         let t = tsm(1).with_preferred(preferred.clone(), &spec);
         for slot in spec.iter_slots() {
             assert_eq!(

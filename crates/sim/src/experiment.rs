@@ -280,7 +280,7 @@ impl Experiment {
     ///
     /// Panics if a foreground job fails to finish in either setting.
     pub fn run(&self) -> ExperimentOutcome {
-        let started = std::time::Instant::now();
+        let started = crate::walltime::Stopwatch::start();
         let contended = self.run_contended();
         let alone_reports = crate::runner::par_map(
             crate::runner::worker_count(),
@@ -313,7 +313,7 @@ impl Experiment {
             foreground,
             contended,
             events_processed,
-            wall_secs: started.elapsed().as_secs_f64(),
+            wall_secs: started.elapsed_secs(),
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod experiment;
 pub mod report;
 pub mod runner;
 pub mod simulation;
+pub mod walltime;
 
 pub use experiment::{Experiment, ExperimentOutcome, OrderConfig, PolicyConfig, SlowdownRow};
 pub use report::{JobResult, SimReport, TaskTraceRecord, TimeSample};

@@ -21,7 +21,6 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use serde::Serialize;
 
@@ -250,10 +249,10 @@ impl TrialGrid {
     pub fn run_with(&self, workers: usize) -> Vec<TrialResult> {
         let trials = self.trials();
         par_map(workers, &trials, |trial| {
-            let started = Instant::now();
+            let started = crate::walltime::Stopwatch::start();
             let outcome =
                 self.experiments[trial.experiment].clone().with_seed(trial.seed).run();
-            TrialResult { trial: *trial, outcome, wall_secs: started.elapsed().as_secs_f64() }
+            TrialResult { trial: *trial, outcome, wall_secs: started.elapsed_secs() }
         })
     }
 }
@@ -381,7 +380,7 @@ mod tests {
         // well under the 400 ms a sequential map needs. Holds even on a
         // single hardware core, since blocked threads overlap.
         let items = [0u8; 4];
-        let started = Instant::now();
+        let started = std::time::Instant::now();
         par_map(4, &items, |_| std::thread::sleep(std::time::Duration::from_millis(100)));
         assert!(
             started.elapsed() < std::time::Duration::from_millis(350),

@@ -203,7 +203,7 @@ impl Simulation {
 
     /// Runs to completion (or the safety horizon) and returns the report.
     pub fn run(mut self) -> SimReport {
-        let started = std::time::Instant::now();
+        let started = crate::walltime::Stopwatch::start();
         while let Some((t, event)) = self.events.pop() {
             if t > self.horizon {
                 break;
@@ -254,7 +254,7 @@ impl Simulation {
             }
         }
         let mut report = self.finish_report();
-        report.wall_secs = started.elapsed().as_secs_f64();
+        report.wall_secs = started.elapsed_secs();
         report
     }
 
@@ -334,7 +334,9 @@ impl Simulation {
         mix(u64::from(instance.task.stage.as_u32()));
         mix(u64::from(instance.task.partition));
         mix(u64::from(instance.attempt));
-        SimRng::seed_from_u64(h ^ self.seed)
+        // stream(root, index) == seed_from_u64(root ^ index), so this is
+        // byte-identical to the former `seed_from_u64(h ^ self.seed)`.
+        SimRng::stream(self.seed, h)
     }
 
     /// Integrates slot-state occupancy exactly over `[last, t]` (states

@@ -1,0 +1,53 @@
+//! The workspace's single sanctioned wall-clock access point.
+//!
+//! Determinism lint **D002** forbids `Instant`/`SystemTime` everywhere
+//! except this module: real time must never influence simulated results,
+//! so every wall-clock read in the workspace funnels through
+//! [`Stopwatch`], whose readings only ever reach *stderr* timing output
+//! (`--timing`) and `#[serde(skip)]` fields — never serialized reports.
+//!
+//! If you need timing somewhere new, take a [`Stopwatch`] here rather
+//! than adding another file to the lint's allowlist.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+///
+/// # Example
+///
+/// ```
+/// use ssr_sim::walltime::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// assert!(sw.elapsed_secs() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`start`](Stopwatch::start).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

@@ -58,7 +58,7 @@ impl Summary {
         let mean = values.iter().sum::<f64>() / count as f64;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Summary {
             count,
             mean,
@@ -147,7 +147,7 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Panics if `values` is empty or `q` is outside `[0, 1]`.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, q)
 }
 
@@ -241,7 +241,7 @@ impl Online {
 /// `k` holds `t_(k+1)` in the paper's notation (the (k+1)-th shortest).
 pub fn order_statistics(values: &[f64]) -> Vec<f64> {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     sorted
 }
 
