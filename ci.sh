@@ -19,4 +19,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo bench -- --test (smoke)"
 cargo bench --workspace --offline -- --test
 
+echo "==> trace replay smoke (byte-identical JSONL across same-seed runs)"
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+for i in 1 2; do
+  ./target/release/ssr-cli run --cluster 2x2 --policy ssr --seed 7 \
+    --fg "pipeline:phases=3,par=4,prio=10" --bg "maponly:tasks=16,secs=10" \
+    --trace "$trace_dir/run$i.jsonl" > /dev/null
+done
+cmp "$trace_dir/run1.jsonl" "$trace_dir/run2.jsonl"
+
 echo "==> ci.sh: all green"

@@ -30,6 +30,7 @@ struct Args {
     ids: Vec<String>,
     list: bool,
     timing: bool,
+    trace: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -37,6 +38,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut list = false;
     let mut timing = false;
     let mut jobs: Option<usize> = None;
+    let mut trace = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,17 +48,22 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--jobs requires a value")?;
                 jobs = Some(v.parse().map_err(|_| format!("bad --jobs value: {v}"))?);
             }
+            "--trace" => {
+                trace = Some(it.next().ok_or("--trace requires a path")?.to_owned());
+            }
             other => ids.push(other.to_owned()),
         }
     }
     ssr_sim::runner::set_worker_override(jobs);
-    Ok(Args { ids, list, timing })
+    Ok(Args { ids, list, timing, trace })
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: figures <all | --list | fig-id...> [--jobs N] [--timing]");
+        eprintln!(
+            "usage: figures <all | --list | fig-id...> [--jobs N] [--timing] [--trace PATH]"
+        );
         eprintln!("known ids: {}", figures::ALL.join(" "));
         return ExitCode::from(2);
     }
@@ -72,6 +79,14 @@ fn main() -> ExitCode {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.trace {
+        // The canonical contended-SSR decision trace; byte-stable per seed,
+        // diffed by CI across invocations.
+        if let Err(e) = std::fs::write(path, figures::decision_trace_jsonl(11)) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let ids: Vec<&str> = if args.ids.iter().any(|a| a == "all") {
         figures::ALL.to_vec()

@@ -28,6 +28,46 @@ pub const ALL: [&str; 13] = [
     "fig16", "fig17", "ablation",
 ];
 
+/// Renders the canonical decision trace: the small contended SSR scenario
+/// (a high-priority pipeline against a low-priority map-only background on
+/// a 4×2 cluster) run once with a JSONL trace sink attached.
+///
+/// The output is byte-stable for a given seed — `figures --trace PATH`
+/// writes it to disk and CI diffs two invocations to pin replay
+/// determinism of the whole tracing layer.
+pub fn decision_trace_jsonl(seed: u64) -> String {
+    use ssr_cluster::ClusterSpec;
+    use ssr_sim::{OrderConfig, PolicyConfig, Simulation};
+    use ssr_simcore::dist::constant;
+    use ssr_simcore::SimTime;
+    use ssr_trace::JsonlSink;
+    use ssr_workload::synthetic::{map_only, pipeline_of};
+
+    let fg = pipeline_of(
+        "fg-pipeline",
+        &[(4, constant(2.0)), (2, constant(6.0)), (1, constant(3.0))],
+        common::FG_PRIORITY,
+        SimTime::from_secs(5),
+    )
+    .expect("valid spec");
+    let bg = map_only("bg-batch", 16, constant(9.0), common::BG_PRIORITY).expect("valid spec");
+    let cluster = ClusterSpec::new(4, 2).expect("valid cluster");
+    let sim = Simulation::new(
+        common::cluster_sim(cluster, seed),
+        PolicyConfig::ssr_strict(),
+        OrderConfig::FifoPriority,
+        vec![fg, bg],
+    )
+    .with_trace_sink(Box::new(JsonlSink::new()));
+    let (report, sink) = sim.run_traced();
+    assert!(report.completed, "canonical trace scenario must complete");
+    sink.expect("sink attached")
+        .into_any()
+        .downcast::<JsonlSink>()
+        .expect("JsonlSink recovered")
+        .finish()
+}
+
 /// Runs one figure by id and returns its rendered output.
 ///
 /// Returns `None` for an unknown id.
@@ -63,5 +103,19 @@ mod tests {
             }
         }
         assert!(super::run("fig99").is_none());
+    }
+
+    #[test]
+    fn decision_trace_is_reproducible_and_well_formed() {
+        let a = super::decision_trace_jsonl(11);
+        let b = super::decision_trace_jsonl(11);
+        assert_eq!(a, b, "same-seed traces must be byte-identical");
+        assert!(a.starts_with(r#"{"event":"trace-start","fields":{"schema_version":1}"#));
+        for needle in ["job-submitted", "offer-round-started", "task-launched", "job-completed"] {
+            assert!(
+                a.contains(&format!(r#""event":"{needle}""#)),
+                "trace must contain {needle} events"
+            );
+        }
     }
 }

@@ -19,6 +19,7 @@ mod spec;
 use std::process::ExitCode;
 
 use ssr_sim::{Experiment, SimConfig, Simulation};
+use ssr_trace::{JsonlSink, MetricsSink, SplitSink, TraceSink};
 
 use crate::opts::RunOptions;
 
@@ -76,6 +77,8 @@ fn usage() {
          \x20 --jobs N             worker threads for independent runs\n\
          \x20                      (default: SSR_JOBS env var, then all cores)\n\
          \x20 --json               emit the report as JSON\n\
+         \x20 --trace PATH         write a JSONL decision trace of the contended run\n\
+         \x20 --metrics            print aggregated scheduling metrics after the run\n\
          \n\
          SPEC: kmeans|svm|pagerank[:par=8,iters=4,prio=10,...]\n\
          \x20     sql[:q=3|all,par=32,prio=10] | pipeline[:phases=3,par=8,alpha=1.6]\n\
@@ -107,27 +110,31 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     if foreground.is_empty() {
         // No measured jobs: run the mix once and print the report.
-        let report = Simulation::new(
+        let mut sim = Simulation::new(
             sim_config,
             options.policy.clone(),
             options.order,
             background,
-        )
-        .run();
+        );
+        if let Some(sink) = make_sink(&options) {
+            sim = sim.with_trace_sink(sink);
+        }
+        let (report, sink) = sim.run_traced();
         print_report_summary(&report, options.json)?;
+        emit_trace_outputs(&options, sink)?;
         return Ok(());
     }
 
-    let outcome = Experiment::new(sim_config, options.policy.clone(), options.order)
+    let (outcome, sink) = Experiment::new(sim_config, options.policy.clone(), options.order)
         .foreground(foreground)
         .background(background)
-        .run();
+        .run_traced(make_sink(&options));
     if options.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
         );
-        return Ok(());
+        return emit_trace_outputs(&options, sink);
     }
     println!("policy: {}   order: {:?}   seed: {}", outcome.policy, options.order, options.seed);
     println!("{:<24} {:>12} {:>14} {:>10}", "foreground job", "alone (s)", "contended (s)", "slowdown");
@@ -146,6 +153,38 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         outcome.contended.speculative_copies,
         outcome.contended.kills,
     );
+    emit_trace_outputs(&options, sink)
+}
+
+/// Builds the trace sink requested by `--trace` / `--metrics`, if any.
+fn make_sink(options: &RunOptions) -> Option<Box<dyn TraceSink>> {
+    if options.trace.is_none() && !options.metrics {
+        return None;
+    }
+    Some(Box::new(SplitSink {
+        jsonl: options.trace.as_ref().map(|_| JsonlSink::new()),
+        metrics: options.metrics.then(MetricsSink::new),
+    }))
+}
+
+/// Writes the JSONL trace to disk and prints the metrics report, as
+/// requested. No-op when tracing was not enabled.
+fn emit_trace_outputs(
+    options: &RunOptions,
+    sink: Option<Box<dyn TraceSink>>,
+) -> Result<(), String> {
+    let Some(sink) = sink else { return Ok(()) };
+    let split = sink
+        .into_any()
+        .downcast::<SplitSink>()
+        .map_err(|_| "internal: trace sink is not a SplitSink".to_owned())?;
+    if let (Some(path), Some(jsonl)) = (&options.trace, split.jsonl) {
+        std::fs::write(path, jsonl.finish())
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    }
+    if let Some(metrics) = split.metrics {
+        println!("{}", metrics.into_report().render_text());
+    }
     Ok(())
 }
 

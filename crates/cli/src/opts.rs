@@ -48,6 +48,10 @@ pub struct RunOptions {
     /// Worker threads for the parallel trial runner (`None` = `SSR_JOBS`
     /// or the machine's available parallelism).
     pub jobs: Option<usize>,
+    /// Write a JSONL decision trace of the contended run to this path.
+    pub trace: Option<String>,
+    /// Print an aggregated scheduling-metrics report after the run.
+    pub metrics: bool,
 }
 
 impl RunOptions {
@@ -74,6 +78,8 @@ impl RunOptions {
         let mut speculation = None;
         let mut json = false;
         let mut jobs = None;
+        let mut trace = None;
+        let mut metrics = false;
 
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -139,6 +145,8 @@ impl RunOptions {
                         value("--jobs")?.parse().map_err(|_| err("--jobs wants a thread count"))?,
                     )
                 }
+                "--trace" => trace = Some(value("--trace")?),
+                "--metrics" => metrics = true,
                 other => return Err(err(format!("unknown flag {other}"))),
             }
         }
@@ -209,6 +217,8 @@ impl RunOptions {
             speculation,
             json,
             jobs,
+            trace,
+            metrics,
         })
     }
 }
@@ -232,6 +242,16 @@ mod tests {
         assert!(!o.json);
         assert!(o.speculation.is_none());
         assert_eq!(o.jobs, None);
+        assert_eq!(o.trace, None);
+        assert!(!o.metrics);
+    }
+
+    #[test]
+    fn trace_and_metrics_flags() {
+        let o = parse(&["--trace", "out.jsonl", "--metrics"]).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("out.jsonl"));
+        assert!(o.metrics);
+        assert!(parse(&["--trace"]).is_err(), "missing value");
     }
 
     #[test]

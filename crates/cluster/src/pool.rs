@@ -256,6 +256,20 @@ impl SlotPool {
     /// deadline the reservation is expired, and the slot becomes free to
     /// use by other jobs").
     pub fn expire_reservations(&mut self, now: SimTime) -> Vec<SlotId> {
+        self.expire_reservations_with(now, |_, _| {})
+    }
+
+    /// [`expire_reservations`](SlotPool::expire_reservations), additionally
+    /// invoking `on_expire(slot, reservation)` for each lapsed reservation
+    /// just before it is freed — the only point at which the owning job of
+    /// an expired reservation is still known (used by decision tracing).
+    /// Callbacks fire in deadline order; the returned vector is in
+    /// ascending slot-id order as before.
+    pub fn expire_reservations_with(
+        &mut self,
+        now: SimTime,
+        mut on_expire: impl FnMut(SlotId, &Reservation),
+    ) -> Vec<SlotId> {
         let mut expired: Vec<SlotId> = Vec::new();
         // `expired_at` is `deadline <= now`, so everything up to and
         // including (now, SlotId::MAX) has lapsed.
@@ -266,6 +280,7 @@ impl SlotPool {
             let r = *self.states[slot.index()]
                 .reservation()
                 .expect("deadline index entries are reserved slots");
+            on_expire(slot, &r);
             self.unindex_reservation(slot, &r);
             self.states[slot.index()] = SlotState::Free;
             self.index_free(slot);

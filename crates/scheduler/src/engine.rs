@@ -16,6 +16,7 @@ use ssr_cluster::{
 };
 use ssr_dag::{JobId, JobSpec, Priority, StageId};
 use ssr_simcore::SimTime;
+use ssr_trace::{DenyReason, TraceEvent, TraceEventKind, TraceSink};
 
 use crate::jobs::{JobState, Jobs};
 use crate::order::{JobOrder, JobSnapshot};
@@ -120,6 +121,10 @@ pub struct TaskScheduler {
     speculation: Option<SpeculationConfig>,
     next_job: u64,
     prereserve: BTreeMap<(JobId, StageId), PendingPrereserve>,
+    /// Optional decision-trace sink. `None` (the default) means tracing is
+    /// off and no event is ever constructed — every emit site is guarded by
+    /// `self.trace.is_some()`, so the disabled path costs one branch.
+    trace: Option<Box<dyn TraceSink>>,
     /// Cached `JobSnapshot`s of schedulable jobs (incomplete with pending
     /// tasks), rebuilt lazily when `snapshots_dirty`; offer rounds copy
     /// them into `candidates_buf` and maintain that copy per assignment
@@ -171,6 +176,7 @@ impl TaskScheduler {
             speculation: None,
             next_job: 0,
             prereserve: BTreeMap::new(),
+            trace: None,
             snapshots: Vec::new(),
             snapshots_dirty: true,
             candidates_buf: Vec::new(),
@@ -193,6 +199,37 @@ impl TaskScheduler {
         self
     }
 
+    /// Attaches a decision-trace sink (builder form). See [`set_trace_sink`]
+    /// (`TaskScheduler::set_trace_sink`).
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.set_trace_sink(sink);
+        self
+    }
+
+    /// Attaches a decision-trace sink: every scheduling decision from here
+    /// on is reported to it as a [`TraceEvent`]. Replaces any prior sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches and returns the trace sink, if one was attached; used to
+    /// recover the collected trace after a run.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// `true` while a trace sink is attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Reports one decision to the attached sink, if any.
+    fn emit(&mut self, time: SimTime, kind: TraceEventKind) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(&TraceEvent::new(time, kind));
+        }
+    }
+
     /// Admits a job at `now`; its root phases become ready immediately.
     pub fn submit(&mut self, spec: JobSpec, now: SimTime) -> JobId {
         self.submit_weighted(spec, 1.0, now)
@@ -204,6 +241,14 @@ impl TaskScheduler {
         self.next_job += 1;
         let mut state = JobState::new(id, spec, now);
         state.set_weight(weight);
+        if self.trace.is_some() {
+            let kind = TraceEventKind::JobSubmitted {
+                job: id,
+                name: state.spec().name().to_owned(),
+                priority: state.priority(),
+            };
+            self.emit(now, kind);
+        }
         let roots = state.run().ready_stages();
         for &stage in &roots {
             let parallelism = state.spec().stage(stage).parallelism();
@@ -224,11 +269,14 @@ impl TaskScheduler {
     /// finally launches straggler copies on reserved-idle slots if the
     /// policy mitigates stragglers.
     pub fn resource_offers(&mut self, now: SimTime) -> Vec<Assignment> {
-        self.fill_prereservations();
+        self.fill_prereservations(now);
         let mut assignments = Vec::new();
         // Early exit for a saturated cluster: no free or reserved slot means
         // no assignment can possibly be made this round.
-        let (free, _, reserved) = self.slots.counts();
+        let (free, running, reserved) = self.slots.counts();
+        if self.trace.is_some() {
+            self.emit(now, TraceEventKind::OfferRoundStarted { free, running, reserved });
+        }
         let mut available = free + reserved;
         if available > 0 {
             if self.snapshots_dirty {
@@ -250,7 +298,22 @@ impl TaskScheduler {
                 // consume slots (free stays 0, groups only shrink) — so
                 // the assignment sequence is identical to the unfiltered
                 // round.
-                candidates.retain(|c| self.viable_on_reserved(c.id, c.priority, now));
+                if self.trace.is_some() {
+                    let mut dropped: Vec<JobId> = Vec::new();
+                    candidates.retain(|c| {
+                        let viable = self.viable_on_reserved(c.id, c.priority, now);
+                        if !viable {
+                            dropped.push(c.id);
+                        }
+                        viable
+                    });
+                    for job in dropped {
+                        let reason = self.deny_reason(job, now);
+                        self.emit(now, TraceEventKind::OfferDeclined { job, reason });
+                    }
+                } else {
+                    candidates.retain(|c| self.viable_on_reserved(c.id, c.priority, now));
+                }
             }
             while available > 0 {
                 let Some(job) = self.order.select(&candidates) else { break };
@@ -260,6 +323,9 @@ impl TaskScheduler {
                     .expect("selected job is a candidate");
                 match self.try_assign_one(job, now) {
                     Some(a) => {
+                        if self.trace.is_some() {
+                            self.emit(now, launch_event(&a));
+                        }
                         assignments.push(a);
                         available -= 1;
                         candidates[pos].running_slots += 1;
@@ -272,6 +338,10 @@ impl TaskScheduler {
                         }
                     }
                     None => {
+                        if self.trace.is_some() {
+                            let reason = self.deny_reason(job, now);
+                            self.emit(now, TraceEventKind::OfferDeclined { job, reason });
+                        }
                         candidates.swap_remove(pos);
                     }
                 }
@@ -288,7 +358,58 @@ impl TaskScheduler {
             // Launches changed running counts / pending sets.
             self.snapshots_dirty = true;
         }
+        if self.trace.is_some() {
+            self.emit(now, TraceEventKind::OfferRoundEnded { assignments: assignments.len() });
+        }
         assignments
+    }
+
+    /// Classifies why a candidate job could not place a task this round.
+    /// Only called on the trace path, so the O(slots) re-examination costs
+    /// nothing when tracing is disabled.
+    fn deny_reason(&self, job: JobId, now: SimTime) -> DenyReason {
+        let Some(state) = self.jobs.get(job) else {
+            return DenyReason::NoPendingTasks;
+        };
+        let priority = state.priority();
+        let mut has_pending = false;
+        let mut usable_blocked_by_locality = false;
+        let mut saw_denied_reservation = false;
+        for tsm in state.active_tasksets() {
+            if !tsm.has_pending() {
+                continue;
+            }
+            has_pending = true;
+            let demand = state.spec().stage(tsm.stage()).demand();
+            let mut usable = self.slots.free_slots().any(|s| self.slots.size(s) >= demand);
+            for slot in self.slots.reserved_slots() {
+                if self.slots.size(slot) < demand {
+                    continue;
+                }
+                let r = self.slots.get(slot).reservation().expect("reserved index entry");
+                let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
+                if r.job() == job || self.policy.approve(&ctx, r, job, priority) {
+                    usable = true;
+                } else {
+                    saw_denied_reservation = true;
+                }
+            }
+            // A usable (free or approved) fitting slot exists, yet
+            // `try_assign_one` declined: delay scheduling has not unlocked
+            // the locality level that slot sits at.
+            if usable {
+                usable_blocked_by_locality = true;
+            }
+        }
+        if !has_pending {
+            DenyReason::NoPendingTasks
+        } else if usable_blocked_by_locality {
+            DenyReason::LocalityWait
+        } else if saw_denied_reservation {
+            DenyReason::ReservationDenied
+        } else {
+            DenyReason::NoFittingSlot
+        }
     }
 
     /// Re-derives the cached snapshot vector of schedulable jobs.
@@ -560,13 +681,17 @@ impl TaskScheduler {
                     RunningInstance { instance, started: now, level: LocalityLevel::ProcessLocal },
                 );
                 *self.running_per_job.entry(job).or_insert(0) += 1;
-                out.push(Assignment {
+                let a = Assignment {
                     slot,
                     instance,
                     level: LocalityLevel::ProcessLocal,
                     speculative: true,
                     warm: true,
-                });
+                };
+                if self.trace.is_some() {
+                    self.emit(now, launch_event(&a));
+                }
+                out.push(a);
             }
         }
         self.straggler_jobs_buf = job_ids;
@@ -631,7 +756,11 @@ impl TaskScheduler {
             self.slots.assign(slot, instance.task).expect("free slot is assignable");
             self.running.insert(slot, RunningInstance { instance, started: now, level });
             *self.running_per_job.entry(job).or_insert(0) += 1;
-            out.push(Assignment { slot, instance, level, speculative: true, warm: false });
+            let a = Assignment { slot, instance, level, speculative: true, warm: false };
+            if self.trace.is_some() {
+                self.emit(now, launch_event(&a));
+            }
+            out.push(a);
         }
         self.spec_plans_buf = plans;
         self.spec_free_buf = free;
@@ -656,6 +785,19 @@ impl TaskScheduler {
         self.slots.finish(slot).expect("slot was running");
         self.dec_running(task.job);
         let duration = now.saturating_since(ri.started);
+        if self.trace.is_some() {
+            self.emit(
+                now,
+                TraceEventKind::TaskFinished {
+                    slot: slot.as_u32(),
+                    job: task.job,
+                    stage: task.stage,
+                    partition: task.partition,
+                    attempt: ri.instance.attempt,
+                    duration_secs: duration.as_secs_f64(),
+                },
+            );
+        }
 
         let state = self.jobs.get_mut(task.job).expect("job exists");
         state.stats_mut(task.stage).record_duration(duration.as_secs_f64());
@@ -671,6 +813,17 @@ impl TaskScheduler {
             self.slots.finish(*loser_slot).expect("loser was running");
             self.running.remove(loser_slot);
             self.dec_running(task.job);
+            if self.trace.is_some() {
+                self.emit(
+                    now,
+                    TraceEventKind::CopyKilled {
+                        slot: loser_slot.as_u32(),
+                        job: task.job,
+                        stage: task.stage,
+                        partition: task.partition,
+                    },
+                );
+            }
             killed.push(*loser_slot);
         }
 
@@ -685,6 +838,12 @@ impl TaskScheduler {
                 self.jobs.get_mut(task.job).expect("job exists").run_mut().on_task_completed(task.stage);
         }
         for &ready_stage in &newly_ready {
+            if self.trace.is_some() {
+                self.emit(
+                    now,
+                    TraceEventKind::BarrierCleared { job: task.job, stage: ready_stage },
+                );
+            }
             let state = self.jobs.get(task.job).expect("job exists");
             let parents = state.spec().parents(ready_stage).to_vec();
             let parallelism = state.spec().stage(ready_stage).parallelism();
@@ -702,6 +861,9 @@ impl TaskScheduler {
         let job_completed = state.run().is_complete();
 
         if stage_completed {
+            if self.trace.is_some() {
+                self.emit(now, TraceEventKind::StageCompleted { job: task.job, stage: task.stage });
+            }
             self.jobs
                 .get_mut(task.job)
                 .expect("job exists")
@@ -722,13 +884,34 @@ impl TaskScheduler {
                 .collect();
             for s in stale {
                 self.slots.release(s).expect("stale reservation is releasable");
+                if self.trace.is_some() {
+                    self.emit(
+                        now,
+                        TraceEventKind::StaleReservationReleased {
+                            slot: s.as_u32(),
+                            job: task.job,
+                            stage: task.stage,
+                        },
+                    );
+                }
             }
             self.prereserve.remove(&(task.job, task.stage));
         }
 
         if job_completed {
+            if self.trace.is_some() {
+                self.emit(now, TraceEventKind::JobCompleted { job: task.job });
+            }
             self.jobs.get_mut(task.job).expect("job exists").mark_complete(now);
-            self.slots.release_job_reservations(task.job);
+            let freed = self.slots.release_job_reservations(task.job);
+            if self.trace.is_some() {
+                for s in freed {
+                    self.emit(
+                        now,
+                        TraceEventKind::ReservationReleased { slot: s.as_u32(), job: task.job },
+                    );
+                }
+            }
             self.placement.clear_job(task.job);
             self.prereserve.retain(|(j, _), _| *j != task.job);
             let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
@@ -742,6 +925,18 @@ impl TaskScheduler {
                     SlotDisposition::Release => {}
                     SlotDisposition::Reserve(r) => {
                         self.slots.reserve(s, r).expect("freed slot is reservable");
+                        if self.trace.is_some() {
+                            self.emit(
+                                now,
+                                TraceEventKind::ReservationGranted {
+                                    slot: s.as_u32(),
+                                    job: r.job(),
+                                    priority: r.priority(),
+                                    stage: r.stage(),
+                                    deadline_secs: r.deadline().map(|d| d.as_secs_f64()),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -771,7 +966,7 @@ impl TaskScheduler {
                 }
             }
         }
-        self.fill_prereservations();
+        self.fill_prereservations(now);
 
         FinishOutcome {
             instance: ri.instance,
@@ -786,11 +981,23 @@ impl TaskScheduler {
     fn dec_running(&mut self, job: JobId) {
         if let Some(c) = self.running_per_job.get_mut(&job) {
             *c = c.saturating_sub(1);
+            // Drop the entry once the count reaches zero so consumers of
+            // `running_per_job()` (e.g. Figure-7-style slot-composition
+            // sampling) never see drained or completed jobs pinned at 0.
+            if *c == 0 {
+                self.running_per_job.remove(&job);
+            }
         }
     }
 
     /// Grants pending pre-reservations from currently free slots.
-    fn fill_prereservations(&mut self) {
+    ///
+    /// Requests are served highest priority first (deadline, then job id
+    /// and stage id as tie-breaks) — *not* in `(JobId, StageId)` map-key
+    /// order, which would let an older (smaller-id) low-priority job grab
+    /// free slots ahead of a higher-priority job's pending request. See
+    /// [`crate::policy::PreReserveRequest`] for the contract.
+    fn fill_prereservations(&mut self, now: SimTime) {
         if self.prereserve.is_empty() {
             return;
         }
@@ -800,6 +1007,13 @@ impl TaskScheduler {
         let mut keys = std::mem::take(&mut self.prereserve_keys_buf);
         keys.clear();
         keys.extend(self.prereserve.keys().copied());
+        let prereserve = &self.prereserve;
+        keys.sort_by_key(|key| {
+            let e = prereserve.get(key).expect("key just listed");
+            // Highest priority first; among equals, earliest deadline
+            // (requests without a deadline last), then (job, stage) id.
+            (std::cmp::Reverse(e.priority), e.deadline.is_none(), e.deadline, key.0, key.1)
+        });
         for &key in &keys {
             let entry = *self.prereserve.get(&key).expect("key just listed");
             let mut granted = entry.granted;
@@ -815,6 +1029,18 @@ impl TaskScheduler {
                     r = r.with_deadline(d);
                 }
                 self.slots.reserve(slot, r).expect("free slot is reservable");
+                if self.trace.is_some() {
+                    self.emit(
+                        now,
+                        TraceEventKind::PrereserveFilled {
+                            slot: slot.as_u32(),
+                            job: key.0,
+                            stage: key.1,
+                            priority: entry.priority,
+                            deadline_secs: entry.deadline.map(|d| d.as_secs_f64()),
+                        },
+                    );
+                }
                 granted += 1;
             }
             self.prereserve.get_mut(&key).expect("key just listed").granted = granted;
@@ -826,7 +1052,26 @@ impl TaskScheduler {
     /// Releases reservations whose deadline has passed; returns freed
     /// slots.
     pub fn expire_reservations(&mut self, now: SimTime) -> Vec<SlotId> {
-        self.slots.expire_reservations(now)
+        if self.trace.is_none() {
+            return self.slots.expire_reservations(now);
+        }
+        let mut expired: Vec<(SlotId, JobId)> = Vec::new();
+        let freed = self
+            .slots
+            .expire_reservations_with(now, |slot, r| expired.push((slot, r.job())));
+        for (slot, job) in expired {
+            self.emit(now, TraceEventKind::ReservationExpired { slot: slot.as_u32(), job });
+        }
+        freed
+    }
+
+    /// Reports a delay-scheduling unlock wakeup to the trace. Called by the
+    /// driving simulator when its locality-unlock event fires, just before
+    /// the offer round it triggers; a no-op without a sink.
+    pub fn trace_locality_unlock(&mut self, now: SimTime) {
+        if self.trace.is_some() {
+            self.emit(now, TraceEventKind::LocalityUnlocked);
+        }
     }
 
     /// The earliest reservation deadline currently pending, for event
@@ -871,7 +1116,9 @@ impl TaskScheduler {
     }
 
     /// Per-job running-slot counts, keyed by job id — the O(1) source the
-    /// simulator samples its timeseries from.
+    /// simulator samples its timeseries from. Only jobs with at least one
+    /// running task appear; entries are removed when their count drops to
+    /// zero.
     pub fn running_per_job(&self) -> &BTreeMap<JobId, usize> {
         &self.running_per_job
     }
@@ -909,6 +1156,31 @@ impl TaskScheduler {
     /// The job order's name (for reports).
     pub fn order_name(&self) -> &'static str {
         self.order.name()
+    }
+}
+
+/// Lowers an [`Assignment`] into its trace event.
+fn launch_event(a: &Assignment) -> TraceEventKind {
+    TraceEventKind::TaskLaunched {
+        slot: a.slot.as_u32(),
+        job: a.instance.task.job,
+        stage: a.instance.task.stage,
+        partition: a.instance.task.partition,
+        attempt: a.instance.attempt,
+        level: level_str(a.level),
+        speculative: a.speculative,
+        warm: a.warm,
+    }
+}
+
+/// The locality level's stable identifier for the trace schema (matches the
+/// `Display` impl in `ssr-cluster`).
+fn level_str(level: LocalityLevel) -> &'static str {
+    match level {
+        LocalityLevel::ProcessLocal => "PROCESS_LOCAL",
+        LocalityLevel::NodeLocal => "NODE_LOCAL",
+        LocalityLevel::RackLocal => "RACK_LOCAL",
+        LocalityLevel::Any => "ANY",
     }
 }
 
@@ -1290,5 +1562,185 @@ mod tests {
         for slot in slots_used {
             assert!(tsm.preferred().contains(&slot));
         }
+    }
+
+    /// Test policy that releases every slot and pre-reserves aggressively
+    /// for the downstream phase (stage 1) at the job's own priority —
+    /// minimal surface to exercise `fill_prereservations` contention.
+    #[derive(Debug)]
+    struct GreedyPrereserve;
+
+    impl ReservationPolicy for GreedyPrereserve {
+        fn name(&self) -> &'static str {
+            "greedy-prereserve"
+        }
+
+        fn on_task_completed(
+            &mut self,
+            _ctx: &PolicyCtx<'_>,
+            _task: ssr_dag::TaskId,
+            _slot: SlotId,
+        ) -> SlotDisposition {
+            SlotDisposition::Release
+        }
+
+        fn prereserve(
+            &mut self,
+            ctx: &PolicyCtx<'_>,
+            task: ssr_dag::TaskId,
+        ) -> Option<crate::policy::PreReserveRequest> {
+            let priority = ctx.jobs.get(task.job)?.priority();
+            Some(crate::policy::PreReserveRequest {
+                job: task.job,
+                stage: StageId::new(1),
+                priority,
+                extra: 4,
+                deadline: None,
+                min_size: 1,
+            })
+        }
+    }
+
+    #[test]
+    fn prereservations_fill_in_priority_order() {
+        // Regression: `fill_prereservations` used to walk pending requests
+        // in `(JobId, StageId)` key order, letting an older low-priority
+        // job grab the only free slot ahead of a high-priority job's
+        // pending pre-reservation.
+        let mut s = TaskScheduler::new(
+            ClusterSpec::new(1, 4).unwrap(),
+            LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+            Box::new(GreedyPrereserve),
+            Box::new(FifoPriority),
+        );
+        // Submission order gives `low` the smaller JobId.
+        let low = s.submit(two_stage_job("low", 2, 0), SimTime::ZERO);
+        let high = s.submit(two_stage_job("high", 2, 10), SimTime::ZERO);
+        let a = s.resource_offers(SimTime::ZERO);
+        assert_eq!(a.len(), 4, "both up-phases saturate the cluster");
+
+        // One `low` up-task finishes: its freed slot immediately serves
+        // low's own pre-reservation (the only pending request).
+        let low_slot =
+            a.iter().find(|x| x.instance.task.job == low).unwrap().slot;
+        s.task_finished(low_slot, SimTime::from_secs(1));
+        assert_eq!(s.slot_pool().reserved_for(low).count(), 1);
+
+        // One `high` up-task finishes: now both jobs have a pending
+        // request and exactly one slot is free. Priority order must give
+        // it to `high`; the buggy key order gave it to `low` (JobId 0).
+        let high_slot =
+            a.iter().find(|x| x.instance.task.job == high).unwrap().slot;
+        s.task_finished(high_slot, SimTime::from_secs(2));
+        assert_eq!(
+            s.slot_pool().reserved_for(high).count(),
+            1,
+            "the high-priority job's pre-reservation wins the free slot"
+        );
+        assert_eq!(s.slot_pool().reserved_for(low).count(), 1);
+    }
+
+    #[test]
+    fn running_per_job_drops_drained_entries() {
+        // Regression: completed jobs stayed in `running_per_job` pinned at
+        // zero forever, polluting slot-composition consumers.
+        let mut s = scheduler(1, 2);
+        let job = s.submit(one_stage_job("j", 2, 0), SimTime::ZERO);
+        let a = s.resource_offers(SimTime::ZERO);
+        assert_eq!(s.running_per_job().get(&job), Some(&2));
+        s.task_finished(a[0].slot, SimTime::from_secs(1));
+        assert_eq!(s.running_per_job().get(&job), Some(&1));
+        let done = s.task_finished(a[1].slot, SimTime::from_secs(1));
+        assert!(done.job_completed);
+        assert!(
+            !s.running_per_job().contains_key(&job),
+            "drained job must not linger at a zero count"
+        );
+        assert_eq!(s.running_count_for(job), 0);
+    }
+
+    #[test]
+    fn trace_records_offer_and_lifecycle_decisions() {
+        use ssr_trace::{TraceEventKind, VecSink};
+        let mut s = TaskScheduler::new(
+            ClusterSpec::new(1, 2).unwrap(),
+            LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+            Box::new(TimeoutReservation::new(SimDuration::from_secs(30))),
+            Box::new(FifoPriority),
+        )
+        .with_trace_sink(Box::new(VecSink::new()));
+        assert!(s.trace_enabled());
+        let high = s.submit(two_stage_job("fg", 2, 10), SimTime::ZERO);
+        let low = s.submit(one_stage_job("bg", 4, 0), SimTime::ZERO);
+        let a = s.resource_offers(SimTime::ZERO);
+        assert_eq!(a.len(), 2);
+        s.task_finished(a[0].slot, SimTime::from_secs(1));
+        // The reservation denies the background job this round.
+        assert!(s.resource_offers(SimTime::from_secs(1)).is_empty());
+        s.expire_reservations(SimTime::from_secs(31));
+        let sink = s.take_trace_sink().expect("sink attached");
+        assert!(!s.trace_enabled());
+        let events = sink
+            .into_any()
+            .downcast::<VecSink>()
+            .expect("VecSink recovered")
+            .into_events();
+        let names: Vec<&'static str> = events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"job-submitted"));
+        assert!(names.contains(&"offer-round-started"));
+        assert!(names.contains(&"task-launched"));
+        assert!(names.contains(&"task-finished"));
+        assert!(names.contains(&"reservation-granted"));
+        assert!(names.contains(&"offer-declined"));
+        assert!(names.contains(&"reservation-expired"));
+        // The denial names the background job with the reservation reason.
+        let denial = events
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceEventKind::OfferDeclined { job, reason } => Some((job, reason)),
+                _ => None,
+            })
+            .expect("a decline was traced");
+        assert_eq!(denial.0, low);
+        assert_eq!(denial.1, ssr_trace::DenyReason::ReservationDenied);
+        // The reservation grant names the foreground job.
+        let grant_job = events
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceEventKind::ReservationGranted { job, .. } => Some(job),
+                _ => None,
+            })
+            .expect("a grant was traced");
+        assert_eq!(grant_job, high);
+    }
+
+    #[test]
+    fn disabled_trace_changes_nothing() {
+        // The whole decision sequence must be identical with and without a
+        // sink attached (zero-overhead contract, behaviour half).
+        let run = |traced: bool| {
+            let mut s = TaskScheduler::new(
+                ClusterSpec::new(2, 2).unwrap(),
+                LocalityModel::paper_simulation().with_wait(SimDuration::ZERO),
+                Box::new(TimeoutReservation::new(SimDuration::from_secs(30))),
+                Box::new(FifoPriority),
+            );
+            if traced {
+                s.set_trace_sink(Box::new(ssr_trace::VecSink::new()));
+            }
+            s.submit(two_stage_job("fg", 2, 10), SimTime::ZERO);
+            s.submit(one_stage_job("bg", 4, 0), SimTime::ZERO);
+            let mut log: Vec<(u32, u64)> = Vec::new();
+            let a = s.resource_offers(SimTime::ZERO);
+            log.extend(a.iter().map(|x| (x.slot.as_u32(), x.instance.task.job.as_u64())));
+            let t = SimTime::from_secs(1);
+            for slot in a.iter().map(|x| x.slot).collect::<Vec<_>>() {
+                s.task_finished(slot, t);
+            }
+            let b = s.resource_offers(t);
+            log.extend(b.iter().map(|x| (x.slot.as_u32(), x.instance.task.job.as_u64())));
+            log
+        };
+        assert_eq!(run(false), run(true));
     }
 }

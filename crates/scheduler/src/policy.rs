@@ -36,6 +36,17 @@ pub enum SlotDisposition {
 /// A request to opportunistically grab extra slots for an upcoming phase
 /// (Algorithm 1, lines 14–17: pre-reservation when the downstream
 /// parallelism exceeds the current one).
+///
+/// Requests are not served immediately: the scheduler queues them (one
+/// per `(job, stage)`, later requests overwrite earlier ones) and fills
+/// them from free slots at the start of every offer round and after
+/// completions. When several jobs have outstanding requests, slots go to
+/// the **highest-priority** request first; ties prefer the earlier
+/// `deadline` (a request with no deadline sorts after any dated one),
+/// then the smaller `(job, stage)` id. A partially-filled request stays
+/// queued and keeps its place in that order, so a low-priority job can
+/// never starve a later-arriving high-priority one out of pre-reserved
+/// slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PreReserveRequest {
     /// The requesting job.
@@ -123,7 +134,9 @@ pub trait ReservationPolicy: fmt::Debug {
 
     /// Called after `task`'s completion was processed; returns a
     /// pre-reservation request if the policy wants extra slots for the
-    /// downstream phase (Algorithm 1, lines 14–17).
+    /// downstream phase (Algorithm 1, lines 14–17). See
+    /// [`PreReserveRequest`] for how queued requests compete for free
+    /// slots (priority-ordered fill).
     fn prereserve(&mut self, ctx: &PolicyCtx<'_>, task: TaskId) -> Option<PreReserveRequest> {
         let _ = (ctx, task);
         None

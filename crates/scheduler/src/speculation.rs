@@ -31,15 +31,32 @@ impl SpeculationConfig {
         SpeculationConfig { quantile: 0.75, multiplier: 1.5 }
     }
 
-    /// Sets the completion quantile in `[0, 1]`.
+    /// Sets the completion quantile, clamped into `[0, 1]`. A quantile
+    /// above 1 can never be reached (`completed/parallelism` tops out at 1
+    /// exactly when every task has finished), which would silently disable
+    /// speculation; below 0 is meaningless. `NaN` falls back to the Spark
+    /// default (0.75).
     pub fn with_quantile(mut self, quantile: f64) -> Self {
-        self.quantile = quantile;
+        self.quantile = if quantile.is_nan() {
+            SpeculationConfig::spark_defaults().quantile
+        } else {
+            quantile.clamp(0.0, 1.0)
+        };
         self
     }
 
-    /// Sets the elapsed-over-median multiplier (≥ 1).
+    /// Sets the elapsed-over-median multiplier, clamped to ≥ 1. A
+    /// multiplier below 1 would brand tasks *faster* than the completed
+    /// median as stragglers and copy most of the phase. `NaN` falls back to
+    /// the Spark default (1.5).
     pub fn with_multiplier(mut self, multiplier: f64) -> Self {
-        self.multiplier = multiplier;
+        self.multiplier = if multiplier.is_nan() {
+            SpeculationConfig::spark_defaults().multiplier
+        } else if multiplier < 1.0 {
+            1.0
+        } else {
+            multiplier
+        };
         self
     }
 
@@ -98,5 +115,48 @@ mod tests {
         let c = SpeculationConfig::spark_defaults().with_quantile(0.5).with_multiplier(2.0);
         // 2 of 4 >= 0.5 quantile; median 1.5 x 2.0 = 3.0.
         assert_eq!(c.threshold(&[1.0, 2.0], 4), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_clamps_to_unit_interval() {
+        assert_eq!(SpeculationConfig::spark_defaults().with_quantile(1.5).quantile, 1.0);
+        assert_eq!(SpeculationConfig::spark_defaults().with_quantile(-0.5).quantile, 0.0);
+        // Boundaries pass through untouched.
+        assert_eq!(SpeculationConfig::spark_defaults().with_quantile(0.0).quantile, 0.0);
+        assert_eq!(SpeculationConfig::spark_defaults().with_quantile(1.0).quantile, 1.0);
+        // A clamped quantile of 1.0 still triggers once the phase is done.
+        let c = SpeculationConfig::spark_defaults().with_quantile(7.0);
+        assert_eq!(c.threshold(&[1.0, 2.0, 3.0], 4), None);
+        assert_eq!(c.threshold(&[1.0, 2.0, 3.0, 4.0], 4), Some(1.5 * 2.5));
+    }
+
+    #[test]
+    fn multiplier_clamps_to_at_least_one() {
+        assert_eq!(SpeculationConfig::spark_defaults().with_multiplier(0.5).multiplier, 1.0);
+        assert_eq!(SpeculationConfig::spark_defaults().with_multiplier(-3.0).multiplier, 1.0);
+        assert_eq!(SpeculationConfig::spark_defaults().with_multiplier(1.0).multiplier, 1.0);
+        assert_eq!(SpeculationConfig::spark_defaults().with_multiplier(4.0).multiplier, 4.0);
+        // Sub-1 multipliers no longer brand median-speed tasks stragglers.
+        let c = SpeculationConfig::spark_defaults().with_quantile(0.5).with_multiplier(0.1);
+        assert_eq!(c.threshold(&[2.0, 2.0], 4), Some(2.0));
+    }
+
+    #[test]
+    fn nan_inputs_fall_back_to_spark_defaults() {
+        let c = SpeculationConfig::spark_defaults()
+            .with_quantile(f64::NAN)
+            .with_multiplier(f64::NAN);
+        assert_eq!(c, SpeculationConfig::spark_defaults());
+        // Infinities are finite-clamped, not defaulted.
+        assert_eq!(
+            SpeculationConfig::spark_defaults().with_quantile(f64::INFINITY).quantile,
+            1.0
+        );
+        assert_eq!(
+            SpeculationConfig::spark_defaults()
+                .with_multiplier(f64::NEG_INFINITY)
+                .multiplier,
+            1.0
+        );
     }
 }

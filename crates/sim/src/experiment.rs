@@ -266,9 +266,24 @@ impl Experiment {
 
     /// Runs the contended mix and returns the full report.
     pub fn run_contended(&self) -> SimReport {
+        self.run_contended_traced(None).0
+    }
+
+    /// Runs the contended mix with an optional scheduler decision-trace
+    /// sink attached, returning the report and the sink (pass-through
+    /// `None` when no sink was given).
+    pub fn run_contended_traced(
+        &self,
+        sink: Option<Box<dyn ssr_trace::TraceSink>>,
+    ) -> (SimReport, Option<Box<dyn ssr_trace::TraceSink>>) {
         let mut jobs = self.foreground.clone();
         jobs.extend(self.background.iter().cloned());
-        Simulation::new(self.sim_config.clone(), self.policy.clone(), self.order, jobs).run()
+        let mut sim =
+            Simulation::new(self.sim_config.clone(), self.policy.clone(), self.order, jobs);
+        if let Some(sink) = sink {
+            sim = sim.with_trace_sink(sink);
+        }
+        sim.run_traced()
     }
 
     /// Runs the complete experiment: alone baselines + contended run +
@@ -280,8 +295,18 @@ impl Experiment {
     ///
     /// Panics if a foreground job fails to finish in either setting.
     pub fn run(&self) -> ExperimentOutcome {
+        self.run_traced(None).0
+    }
+
+    /// [`run`](Experiment::run) with an optional decision-trace sink on
+    /// the *contended* simulation (the alone baselines are never traced —
+    /// only the contended run's scheduling decisions are of interest).
+    pub fn run_traced(
+        &self,
+        sink: Option<Box<dyn ssr_trace::TraceSink>>,
+    ) -> (ExperimentOutcome, Option<Box<dyn ssr_trace::TraceSink>>) {
         let started = crate::walltime::Stopwatch::start();
-        let contended = self.run_contended();
+        let (contended, sink) = self.run_contended_traced(sink);
         let alone_reports = crate::runner::par_map(
             crate::runner::worker_count(),
             &self.foreground,
@@ -308,13 +333,14 @@ impl Experiment {
                 }
             })
             .collect();
-        ExperimentOutcome {
+        let outcome = ExperimentOutcome {
             policy: self.policy.label(),
             foreground,
             contended,
             events_processed,
             wall_secs: started.elapsed_secs(),
-        }
+        };
+        (outcome, sink)
     }
 }
 

@@ -201,9 +201,34 @@ impl Simulation {
         }
     }
 
+    /// Attaches a scheduler decision-trace sink: every offer round,
+    /// denial, reservation transition and launch is reported to it as an
+    /// `ssr_trace::TraceEvent`. Recover the sink with
+    /// [`run_traced`](Simulation::run_traced).
+    pub fn with_trace_sink(mut self, sink: Box<dyn ssr_trace::TraceSink>) -> Self {
+        self.sched.set_trace_sink(sink);
+        self
+    }
+
     /// Runs to completion (or the safety horizon) and returns the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_traced().0
+    }
+
+    /// Runs to completion like [`run`](Simulation::run) and additionally
+    /// returns the decision-trace sink attached via
+    /// [`with_trace_sink`](Simulation::with_trace_sink) (`None` if none
+    /// was).
+    pub fn run_traced(mut self) -> (SimReport, Option<Box<dyn ssr_trace::TraceSink>>) {
         let started = crate::walltime::Stopwatch::start();
+        self.run_loop();
+        let sink = self.sched.take_trace_sink();
+        let mut report = self.finish_report();
+        report.wall_secs = started.elapsed_secs();
+        (report, sink)
+    }
+
+    fn run_loop(&mut self) {
         while let Some((t, event)) = self.events.pop() {
             if t > self.horizon {
                 break;
@@ -242,6 +267,7 @@ impl Simulation {
                 }
                 Event::LocalityUnlock => {
                     self.scheduled_unlock = None;
+                    self.sched.trace_locality_unlock(t);
                 }
             }
             self.dispatch();
@@ -253,9 +279,6 @@ impl Simulation {
                 break;
             }
         }
-        let mut report = self.finish_report();
-        report.wall_secs = started.elapsed_secs();
-        report
     }
 
     /// Runs one resource-offer round and schedules the resulting finish,

@@ -1,0 +1,276 @@
+//! Counters/histograms aggregated from the decision-event stream.
+//!
+//! [`MetricsSink`] folds events into a [`MetricsReport`] without retaining
+//! the stream, so it is cheap enough to leave on for large runs where a full
+//! JSONL trace would be unwieldy.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use crate::event::{TraceEvent, TraceEventKind};
+use crate::sink::TraceSink;
+
+/// Bucket upper bounds (seconds) for the reservation hold-time histogram.
+/// Log2-spaced from sub-second holds to multi-minute leases; anything above
+/// the last bound lands in the overflow bucket.
+pub const HOLD_TIME_BOUNDS_SECS: [f64; 10] =
+    [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Fixed-bucket histogram over non-negative seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Count per bucket; `buckets[i]` covers values `<= HOLD_TIME_BOUNDS_SECS[i]`
+    /// (and above the previous bound). The final slot counts overflow.
+    pub buckets: [u64; HOLD_TIME_BOUNDS_SECS.len() + 1],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        let mut idx = HOLD_TIME_BOUNDS_SECS.len();
+        for (i, bound) in HOLD_TIME_BOUNDS_SECS.iter().enumerate() {
+            if value <= *bound {
+                idx = i;
+                break;
+            }
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Aggregated view of one traced run.
+///
+/// Produced by [`MetricsSink::into_report`]; rendered for humans by
+/// [`MetricsReport::render_text`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Jobs submitted to the scheduler.
+    pub jobs_submitted: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Offer rounds executed.
+    pub offer_rounds: u64,
+    /// Tasks launched (including speculative copies).
+    pub tasks_launched: u64,
+    /// Speculative copies among `tasks_launched`.
+    pub speculative_launched: u64,
+    /// Speculative races won by the copy (a non-zero attempt finished first).
+    pub copy_wins: u64,
+    /// Losing duplicates killed after a race resolved.
+    pub copy_kills: u64,
+    /// Offer declines, keyed by kebab-case [`DenyReason`](crate::DenyReason).
+    pub offers_declined: BTreeMap<String, u64>,
+    /// Reservations granted by the policy on task completion.
+    pub reservations_granted: u64,
+    /// Free slots claimed by pending pre-reservations.
+    pub prereserves_filled: u64,
+    /// Reservations that hit their lease deadline.
+    pub reservations_expired: u64,
+    /// Reservations released on job completion.
+    pub reservations_released: u64,
+    /// Stage-earmarked reservations released after their stage completed.
+    pub stale_reservations_released: u64,
+    /// Barrier clears (stages becoming runnable).
+    pub barriers_cleared: u64,
+    /// Delay-scheduling locality unlock wakeups.
+    pub locality_unlocks: u64,
+    /// Time from reservation grant/fill to consumption, expiry, or release.
+    pub reservation_hold_secs: Histogram,
+    /// Busy slot-seconds per job id (sum over that job's task instances).
+    pub slot_seconds_per_job: BTreeMap<u64, f64>,
+}
+
+impl MetricsReport {
+    /// Fraction of speculative launches whose copy won the race, or `None`
+    /// when no copy was launched.
+    pub fn speculation_win_rate(&self) -> Option<f64> {
+        if self.speculative_launched == 0 {
+            None
+        } else {
+            Some(self.copy_wins as f64 / self.speculative_launched as f64)
+        }
+    }
+
+    /// Renders the report as indented plain text for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line("metrics report".into());
+        line(format!("  jobs: {} submitted, {} completed", self.jobs_submitted, self.jobs_completed));
+        line(format!(
+            "  offer rounds: {} ({} tasks launched, {} speculative)",
+            self.offer_rounds, self.tasks_launched, self.speculative_launched
+        ));
+        if self.offers_declined.is_empty() {
+            line("  offers declined: none".into());
+        } else {
+            line("  offers declined:".into());
+            for (reason, n) in &self.offers_declined {
+                line(format!("    {reason}: {n}"));
+            }
+        }
+        line(format!(
+            "  reservations: {} granted, {} prereserve-filled, {} expired, {} released, {} stale-released",
+            self.reservations_granted,
+            self.prereserves_filled,
+            self.reservations_expired,
+            self.reservations_released,
+            self.stale_reservations_released
+        ));
+        let h = &self.reservation_hold_secs;
+        line(format!(
+            "  reservation hold time: {} closed, mean {:.3}s",
+            h.count,
+            h.mean()
+        ));
+        for (i, n) in h.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            match HOLD_TIME_BOUNDS_SECS.get(i) {
+                Some(bound) => line(format!("    <= {bound}s: {n}")),
+                None => line(format!(
+                    "    > {}s: {n}",
+                    HOLD_TIME_BOUNDS_SECS[HOLD_TIME_BOUNDS_SECS.len() - 1]
+                )),
+            }
+        }
+        match self.speculation_win_rate() {
+            Some(rate) => line(format!(
+                "  speculation: {} copies, {} wins, {} kills (win rate {:.2})",
+                self.speculative_launched, self.copy_wins, self.copy_kills, rate
+            )),
+            None => line("  speculation: no copies launched".into()),
+        }
+        line(format!(
+            "  barriers cleared: {}, locality unlocks: {}",
+            self.barriers_cleared, self.locality_unlocks
+        ));
+        if !self.slot_seconds_per_job.is_empty() {
+            line("  slot occupancy (busy slot-seconds per job):".into());
+            for (job, secs) in &self.slot_seconds_per_job {
+                line(format!("    job-{job}: {secs:.1}"));
+            }
+        }
+        out
+    }
+}
+
+/// Sink that folds the event stream into a [`MetricsReport`].
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    report: MetricsReport,
+    /// Open reservation per slot: grant/fill time in seconds.
+    open_reservations: BTreeMap<u32, f64>,
+    /// Running instance per slot: (job id, launch time in seconds).
+    open_tasks: BTreeMap<u32, (u64, f64)>,
+}
+
+impl MetricsSink {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the aggregated report.
+    pub fn into_report(self) -> MetricsReport {
+        self.report
+    }
+
+    /// The report aggregated so far.
+    pub fn report(&self) -> &MetricsReport {
+        &self.report
+    }
+
+    fn close_reservation(&mut self, slot: u32, now_secs: f64) {
+        if let Some(start) = self.open_reservations.remove(&slot) {
+            self.report.reservation_hold_secs.record(now_secs - start);
+        }
+    }
+
+    fn close_task(&mut self, slot: u32, now_secs: f64) {
+        if let Some((job, start)) = self.open_tasks.remove(&slot) {
+            *self.report.slot_seconds_per_job.entry(job).or_insert(0.0) += now_secs - start;
+        }
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn record(&mut self, event: &TraceEvent) {
+        use TraceEventKind as K;
+        let now = event.time.as_secs_f64();
+        match &event.kind {
+            K::JobSubmitted { .. } => self.report.jobs_submitted += 1,
+            K::JobCompleted { .. } => self.report.jobs_completed += 1,
+            K::OfferRoundStarted { .. } => self.report.offer_rounds += 1,
+            K::OfferRoundEnded { .. } => {}
+            K::OfferDeclined { reason, .. } => {
+                *self.report.offers_declined.entry(reason.as_str().to_owned()).or_insert(0) += 1;
+            }
+            K::TaskLaunched { slot, job, speculative, .. } => {
+                self.report.tasks_launched += 1;
+                if *speculative {
+                    self.report.speculative_launched += 1;
+                }
+                // A launch onto a reserved slot consumes the reservation.
+                self.close_reservation(*slot, now);
+                self.open_tasks.insert(*slot, (job.as_u64(), now));
+            }
+            K::TaskFinished { slot, attempt, .. } => {
+                if *attempt > 0 {
+                    self.report.copy_wins += 1;
+                }
+                self.close_task(*slot, now);
+            }
+            K::CopyKilled { slot, .. } => {
+                self.report.copy_kills += 1;
+                self.close_task(*slot, now);
+            }
+            K::ReservationGranted { slot, .. } => {
+                self.report.reservations_granted += 1;
+                self.open_reservations.insert(*slot, now);
+            }
+            K::PrereserveFilled { slot, .. } => {
+                self.report.prereserves_filled += 1;
+                self.open_reservations.insert(*slot, now);
+            }
+            K::ReservationExpired { slot, .. } => {
+                self.report.reservations_expired += 1;
+                self.close_reservation(*slot, now);
+            }
+            K::ReservationReleased { slot, .. } => {
+                self.report.reservations_released += 1;
+                self.close_reservation(*slot, now);
+            }
+            K::StaleReservationReleased { slot, .. } => {
+                self.report.stale_reservations_released += 1;
+                self.close_reservation(*slot, now);
+            }
+            K::BarrierCleared { .. } => self.report.barriers_cleared += 1,
+            K::StageCompleted { .. } => {}
+            K::LocalityUnlocked => self.report.locality_unlocks += 1,
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
