@@ -25,8 +25,22 @@ trap 'rm -rf "$trace_dir"' EXIT
 for i in 1 2; do
   ./target/release/ssr-cli run --cluster 2x2 --policy ssr --seed 7 \
     --fg "pipeline:phases=3,par=4,prio=10" --bg "maponly:tasks=16,secs=10" \
-    --trace "$trace_dir/run$i.jsonl" > /dev/null
+    --trace "$trace_dir/run$i.jsonl" --trace-alone "$trace_dir/alone$i" > /dev/null
 done
 cmp "$trace_dir/run1.jsonl" "$trace_dir/run2.jsonl"
+cmp "$trace_dir/alone1-pipeline.jsonl" "$trace_dir/alone2-pipeline.jsonl"
+
+echo "==> explain smoke (byte-identical reports across runs and formats)"
+for i in 1 2; do
+  ./target/release/ssr-cli explain "$trace_dir/run1.jsonl" \
+    --alone "$trace_dir/alone1-pipeline.jsonl" > "$trace_dir/explain$i.txt"
+  ./target/release/ssr-cli explain "$trace_dir/run1.jsonl" \
+    --alone "$trace_dir/alone1-pipeline.jsonl" --json > "$trace_dir/explain$i.json"
+  ./target/release/figures --explain "$trace_dir/figexplain$i.txt" > /dev/null
+done
+cmp "$trace_dir/explain1.txt" "$trace_dir/explain2.txt"
+cmp "$trace_dir/explain1.json" "$trace_dir/explain2.json"
+cmp "$trace_dir/figexplain1.txt" "$trace_dir/figexplain2.txt"
+grep -q "slowdown attribution" "$trace_dir/explain1.txt"
 
 echo "==> ci.sh: all green"

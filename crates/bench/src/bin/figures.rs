@@ -31,6 +31,7 @@ struct Args {
     list: bool,
     timing: bool,
     trace: Option<String>,
+    explain: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -39,6 +40,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut timing = false;
     let mut jobs: Option<usize> = None;
     let mut trace = None;
+    let mut explain = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -51,18 +53,21 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--trace" => {
                 trace = Some(it.next().ok_or("--trace requires a path")?.to_owned());
             }
+            "--explain" => {
+                explain = Some(it.next().ok_or("--explain requires a path")?.to_owned());
+            }
             other => ids.push(other.to_owned()),
         }
     }
     ssr_sim::runner::set_worker_override(jobs);
-    Ok(Args { ids, list, timing, trace })
+    Ok(Args { ids, list, timing, trace, explain })
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: figures <all | --list | fig-id...> [--jobs N] [--timing] [--trace PATH]"
+            "usage: figures <all | --list | fig-id...> [--jobs N] [--timing] [--trace PATH] [--explain PATH]"
         );
         eprintln!("known ids: {}", figures::ALL.join(" "));
         return ExitCode::from(2);
@@ -85,6 +90,15 @@ fn main() -> ExitCode {
         // diffed by CI across invocations.
         if let Err(e) = std::fs::write(path, figures::decision_trace_jsonl(11)) {
             eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.explain {
+        // The canonical scenario pushed through the whole ssr-explain
+        // pipeline (trace → parse → timeline → attribution → render);
+        // byte-stable per seed, diffed by CI across invocations.
+        if let Err(e) = std::fs::write(path, figures::explain_report(11)) {
+            eprintln!("cannot write explain report {path}: {e}");
             return ExitCode::FAILURE;
         }
     }

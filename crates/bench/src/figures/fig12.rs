@@ -54,6 +54,72 @@ fn slowdown(app: &JobSpec, policy: PolicyConfig, bg_jobs: u32, factor: f64, seed
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
+    /// The Fig. 12(a) setting (kmeans against the standard background,
+    /// scaled down), traced end-to-end: ssr-explain's slowdown
+    /// decomposition must conserve the measured contended−alone gap, and
+    /// the JCTs it derives from the traces must agree with the JCTs the
+    /// experiment itself reports.
+    #[test]
+    fn attribution_conserves_on_fig12a_scenario() {
+        use ssr_trace::JsonlSink;
+
+        let app = crate::figures::common::foreground_apps()
+            .into_iter()
+            .next()
+            .expect("kmeans exists");
+        let (outcome, sink, alone) = Experiment::new(
+            cluster_sim(ec2_cluster(), 51).stop_after([app.name()]),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+        )
+        .foreground([app.clone()])
+        .background(background_jobs(40, 1.0, 51))
+        .run_traced_with_baselines(Some(Box::new(JsonlSink::new())));
+
+        let contended_doc = sink
+            .expect("sink attached")
+            .into_any()
+            .downcast::<JsonlSink>()
+            .expect("JsonlSink recovered")
+            .finish();
+        let contended = ssr_explain::parse_trace(&contended_doc).expect("contended trace parses");
+        assert_eq!(alone.len(), 1);
+        let baseline = ssr_explain::parse_trace(&alone[0].jsonl).expect("alone trace parses");
+
+        let a = ssr_explain::attribute(&contended, &baseline, app.name())
+            .expect("foreground completes in both traces");
+        // Work-conserving under the standard background: a real gap.
+        assert!(a.gap_secs > 1.0, "expected contention, gap {}", a.gap_secs);
+        // The decomposition must conserve the gap…
+        assert!(
+            a.conserves(1e-6),
+            "components {} != gap {}",
+            a.components_sum(),
+            a.gap_secs
+        );
+        // …and name at least part of it (not pure residual).
+        assert!(
+            a.reservation_denied_secs + a.locality_secs + a.rampup_secs > 0.0,
+            "no named cause: {a:?}"
+        );
+        // Trace-derived JCTs agree with the experiment's own report.
+        let row = outcome.slowdown_of(app.name()).expect("foreground measured");
+        assert!(
+            (a.contended_jct_secs - row.contended_jct_secs).abs() < 1e-6,
+            "trace JCT {} vs report JCT {}",
+            a.contended_jct_secs,
+            row.contended_jct_secs
+        );
+        assert!(
+            (a.alone_jct_secs - row.alone_jct_secs).abs() < 1e-6,
+            "trace alone JCT {} vs report {}",
+            a.alone_jct_secs,
+            row.alone_jct_secs
+        );
+    }
+
     #[test]
     fn ssr_enforces_isolation_where_work_conserving_fails() {
         let out = super::run_scaled(15, 5);

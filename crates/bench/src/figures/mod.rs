@@ -68,6 +68,55 @@ pub fn decision_trace_jsonl(seed: u64) -> String {
         .finish()
 }
 
+/// Runs the canonical decision-trace scenario end-to-end through
+/// `ssr-explain`: the contended run is traced alongside per-foreground
+/// run-alone baseline traces, and the resulting timeline / critical-path /
+/// slowdown-attribution report is rendered as text.
+///
+/// Byte-stable for a given seed — `figures --explain PATH` writes it to
+/// disk and CI diffs two invocations, pinning the whole
+/// trace→read→analyze→render pipeline.
+pub fn explain_report(seed: u64) -> String {
+    use ssr_cluster::ClusterSpec;
+    use ssr_sim::{Experiment, OrderConfig, PolicyConfig};
+    use ssr_simcore::dist::constant;
+    use ssr_simcore::SimTime;
+    use ssr_trace::JsonlSink;
+    use ssr_workload::synthetic::{map_only, pipeline_of};
+
+    let fg = pipeline_of(
+        "fg-pipeline",
+        &[(4, constant(2.0)), (2, constant(6.0)), (1, constant(3.0))],
+        common::FG_PRIORITY,
+        SimTime::from_secs(5),
+    )
+    .expect("valid spec");
+    let bg = map_only("bg-batch", 16, constant(9.0), common::BG_PRIORITY).expect("valid spec");
+    let cluster = ClusterSpec::new(4, 2).expect("valid cluster");
+    let (outcome, sink, alone) = Experiment::new(
+        common::cluster_sim(cluster, seed),
+        PolicyConfig::ssr_strict(),
+        OrderConfig::FifoPriority,
+    )
+    .foreground([fg])
+    .background([bg])
+    .run_traced_with_baselines(Some(Box::new(JsonlSink::new())));
+    assert!(outcome.contended.completed, "explain scenario must complete");
+    let contended = sink
+        .expect("sink attached")
+        .into_any()
+        .downcast::<JsonlSink>()
+        .expect("JsonlSink recovered")
+        .finish();
+    let contended = ssr_explain::parse_trace(&contended).expect("own trace parses");
+    let baselines: Vec<ssr_explain::Trace> = alone
+        .iter()
+        .map(|a| ssr_explain::parse_trace(&a.jsonl).expect("own alone trace parses"))
+        .collect();
+    let report = ssr_explain::explain(&contended, &baselines).expect("analysis succeeds");
+    report.render_text(72)
+}
+
 /// Runs one figure by id and returns its rendered output.
 ///
 /// Returns `None` for an unknown id.
@@ -106,11 +155,24 @@ mod tests {
     }
 
     #[test]
+    fn explain_report_is_reproducible_and_complete() {
+        let a = super::explain_report(11);
+        let b = super::explain_report(11);
+        assert_eq!(a, b, "same-seed explain reports must be byte-identical");
+        for section in ["== ssr-explain:", "-- timeline --", "-- per-job activity",
+                        "-- critical paths --", "-- slowdown attribution"] {
+            assert!(a.contains(section), "report must contain {section:?}");
+        }
+        assert!(a.contains("conserves gap: yes"), "decomposition must conserve");
+        assert!(!a.contains("conserves gap: NO"));
+    }
+
+    #[test]
     fn decision_trace_is_reproducible_and_well_formed() {
         let a = super::decision_trace_jsonl(11);
         let b = super::decision_trace_jsonl(11);
         assert_eq!(a, b, "same-seed traces must be byte-identical");
-        assert!(a.starts_with(r#"{"event":"trace-start","fields":{"schema_version":1}"#));
+        assert!(a.starts_with(r#"{"event":"trace-start","fields":{"schema_version":2}"#));
         for needle in ["job-submitted", "offer-round-started", "task-launched", "job-completed"] {
             assert!(
                 a.contains(&format!(r#""event":"{needle}""#)),

@@ -8,6 +8,7 @@
 //!     --bg maponly:tasks=64,secs=60 --json
 //! ssr-cli tradeoff --alpha 1.6 --n 20
 //! ssr-cli deadline --p 0.9 --tm 2 --alpha 1.6 --n 20
+//! ssr-cli explain trace.jsonl --alone alone-kmeans.jsonl
 //! ssr-cli lint [--format json]
 //! ```
 
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "tradeoff" => cmd_tradeoff(rest),
         "deadline" => cmd_deadline(rest),
+        "explain" => cmd_explain(rest),
         "lint" => return ssr_lint::run_cli(rest),
         "--help" | "-h" | "help" => {
             usage();
@@ -57,6 +59,8 @@ fn usage() {
          \x20 run       simulate a workload mix (see flags below)\n\
          \x20 tradeoff  print the Eq. 4 isolation/utilization curve\n\
          \x20 deadline  print the Eq. 2 reservation deadline for a target P\n\
+         \x20 explain   analyze a JSONL decision trace (timeline, critical\n\
+         \x20           paths, slowdown attribution)\n\
          \x20 lint      run the workspace determinism linter (ssr-lint)\n\
          \n\
          run flags:\n\
@@ -78,7 +82,17 @@ fn usage() {
          \x20                      (default: SSR_JOBS env var, then all cores)\n\
          \x20 --json               emit the report as JSON\n\
          \x20 --trace PATH         write a JSONL decision trace of the contended run\n\
+         \x20 --trace-alone PREFIX also trace each foreground job's run-alone\n\
+         \x20                      baseline to PREFIX-<job>.jsonl\n\
          \x20 --metrics            print aggregated scheduling metrics after the run\n\
+         \x20                      (sorted-key JSON with hold-time percentiles under --json)\n\
+         \n\
+         explain flags:\n\
+         \x20 TRACE                the contended-run JSONL trace to analyze\n\
+         \x20 --alone PATH         a run-alone baseline trace (repeatable); adds\n\
+         \x20                      slowdown attribution for that job\n\
+         \x20 --json               emit the report as sorted-key JSON\n\
+         \x20 --width N            gantt width in columns (default 72)\n\
          \n\
          SPEC: kmeans|svm|pagerank[:par=8,iters=4,prio=10,...]\n\
          \x20     sql[:q=3|all,par=32,prio=10] | pipeline[:phases=3,par=8,alpha=1.6]\n\
@@ -125,10 +139,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let (outcome, sink) = Experiment::new(sim_config, options.policy.clone(), options.order)
+    let experiment = Experiment::new(sim_config, options.policy.clone(), options.order)
         .foreground(foreground)
-        .background(background)
-        .run_traced(make_sink(&options));
+        .background(background);
+    let (outcome, sink, alone_traces) = if options.trace_alone.is_some() {
+        experiment.run_traced_with_baselines(make_sink(&options))
+    } else {
+        let (outcome, sink) = experiment.run_traced(make_sink(&options));
+        (outcome, sink, Vec::new())
+    };
+    if let Some(prefix) = &options.trace_alone {
+        for alone in &alone_traces {
+            let path = format!("{prefix}-{}.jsonl", alone.job);
+            std::fs::write(&path, &alone.jsonl)
+                .map_err(|e| format!("cannot write alone trace {path}: {e}"))?;
+        }
+    }
     if options.json {
         println!(
             "{}",
@@ -154,6 +180,51 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         outcome.contended.kills,
     );
     emit_trace_outputs(&options, sink)
+}
+
+/// `ssr-cli explain TRACE [--alone PATH]... [--json] [--width N]`:
+/// reconstructs a traced run and, given alone baselines, attributes each
+/// foreground job's slowdown. Output is byte-identical across invocations.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let mut trace_path: Option<&String> = None;
+    let mut alone_paths: Vec<&String> = Vec::new();
+    let mut json = false;
+    let mut width = 72usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--alone" => {
+                alone_paths.push(it.next().ok_or("--alone requires a path")?);
+            }
+            "--json" => json = true,
+            "--width" => {
+                width = it
+                    .next()
+                    .ok_or("--width requires a value")?
+                    .parse()
+                    .map_err(|_| "--width wants a column count".to_owned())?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown explain flag {other}"));
+            }
+            _ if trace_path.is_none() => trace_path = Some(arg),
+            other => return Err(format!("unexpected extra argument {other}")),
+        }
+    }
+    let trace_path = trace_path.ok_or("explain needs a trace file (see ssr-cli --help)")?;
+    let read = |path: &String| -> Result<ssr_explain::Trace, String> {
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        ssr_explain::parse_trace(&doc).map_err(|e| format!("{path}: {e}"))
+    };
+    let contended = read(trace_path)?;
+    let alone = alone_paths.iter().map(|p| read(p)).collect::<Result<Vec<_>, _>>()?;
+    let report = ssr_explain::explain(&contended, &alone).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text(width));
+    }
+    Ok(())
 }
 
 /// Builds the trace sink requested by `--trace` / `--metrics`, if any.
@@ -183,7 +254,12 @@ fn emit_trace_outputs(
             .map_err(|e| format!("cannot write trace {path}: {e}"))?;
     }
     if let Some(metrics) = split.metrics {
-        println!("{}", metrics.into_report().render_text());
+        let report = metrics.into_report();
+        if options.json {
+            println!("{}", report.render_json());
+        } else {
+            println!("{}", report.render_text());
+        }
     }
     Ok(())
 }

@@ -50,6 +50,9 @@ pub struct RunOptions {
     pub jobs: Option<usize>,
     /// Write a JSONL decision trace of the contended run to this path.
     pub trace: Option<String>,
+    /// Also trace each foreground job's run-alone baseline, writing one
+    /// `PREFIX-<job>.jsonl` per job (for `ssr-cli explain --alone`).
+    pub trace_alone: Option<String>,
     /// Print an aggregated scheduling-metrics report after the run.
     pub metrics: bool,
 }
@@ -79,6 +82,7 @@ impl RunOptions {
         let mut json = false;
         let mut jobs = None;
         let mut trace = None;
+        let mut trace_alone = None;
         let mut metrics = false;
 
         let mut it = args.iter();
@@ -146,6 +150,7 @@ impl RunOptions {
                     )
                 }
                 "--trace" => trace = Some(value("--trace")?),
+                "--trace-alone" => trace_alone = Some(value("--trace-alone")?),
                 "--metrics" => metrics = true,
                 other => return Err(err(format!("unknown flag {other}"))),
             }
@@ -218,6 +223,7 @@ impl RunOptions {
             json,
             jobs,
             trace,
+            trace_alone,
             metrics,
         })
     }
@@ -243,15 +249,18 @@ mod tests {
         assert!(o.speculation.is_none());
         assert_eq!(o.jobs, None);
         assert_eq!(o.trace, None);
+        assert_eq!(o.trace_alone, None);
         assert!(!o.metrics);
     }
 
     #[test]
     fn trace_and_metrics_flags() {
-        let o = parse(&["--trace", "out.jsonl", "--metrics"]).unwrap();
+        let o = parse(&["--trace", "out.jsonl", "--metrics", "--trace-alone", "alone"]).unwrap();
         assert_eq!(o.trace.as_deref(), Some("out.jsonl"));
+        assert_eq!(o.trace_alone.as_deref(), Some("alone"));
         assert!(o.metrics);
         assert!(parse(&["--trace"]).is_err(), "missing value");
+        assert!(parse(&["--trace-alone"]).is_err(), "missing value");
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Shared test fixture: one event of every [`TraceEventKind`] variant.
+//!
+//! The construction below and the witness in [`assert_covers_schema`] both
+//! match the enum exhaustively (no wildcard arm), so adding a variant to
+//! `ssr-trace` fails compilation here until the reader, the fixture and the
+//! schema constant are all updated together.
+
+use ssr_dag::{JobId, Priority, StageId};
+use ssr_simcore::SimTime;
+use ssr_trace::{DenyReason, StageMeta, TraceEvent, TraceEventKind};
+
+/// Compile-time exhaustiveness witness: one arm per variant, no wildcard.
+///
+/// Returns the schema event name so tests can also check runtime coverage.
+pub(crate) fn assert_covers_schema(kind: &TraceEventKind) -> &'static str {
+    use TraceEventKind as K;
+    match kind {
+        K::JobSubmitted { .. } => "job-submitted",
+        K::OfferRoundStarted { .. } => "offer-round-started",
+        K::OfferRoundEnded { .. } => "offer-round-ended",
+        K::OfferDeclined { .. } => "offer-declined",
+        K::TaskLaunched { .. } => "task-launched",
+        K::TaskFinished { .. } => "task-finished",
+        K::CopyKilled { .. } => "copy-killed",
+        K::ReservationGranted { .. } => "reservation-granted",
+        K::PrereserveFilled { .. } => "prereserve-filled",
+        K::ReservationExpired { .. } => "reservation-expired",
+        K::ReservationReleased { .. } => "reservation-released",
+        K::StaleReservationReleased { .. } => "stale-reservation-released",
+        K::BarrierCleared { .. } => "barrier-cleared",
+        K::StageCompleted { .. } => "stage-completed",
+        K::JobCompleted { .. } => "job-completed",
+        K::LocalityUnlocked => "locality-unlocked",
+    }
+}
+
+/// A deterministic event stream containing exactly one event per variant,
+/// with optional fields populated (and `None` cases covered by the reader's
+/// schema-v1 test).
+pub(crate) fn one_of_each() -> Vec<TraceEvent> {
+    let job = JobId::new(5);
+    let stage0 = StageId::new(0);
+    let stage1 = StageId::new(1);
+    let at = |s: f64, kind: TraceEventKind| TraceEvent::new(SimTime::from_secs_f64(s), kind);
+    vec![
+        at(
+            0.0,
+            TraceEventKind::JobSubmitted {
+                job,
+                name: "fixture".into(),
+                priority: Priority::new(-2),
+                stages: vec![
+                    StageMeta { tasks: 3, parents: vec![] },
+                    StageMeta { tasks: 1, parents: vec![stage0] },
+                ],
+            },
+        ),
+        at(0.0, TraceEventKind::OfferRoundStarted { free: 2, running: 1, reserved: 1 }),
+        at(
+            0.0,
+            TraceEventKind::OfferDeclined {
+                job,
+                reason: DenyReason::ReservationDenied,
+                stage: Some(stage0),
+            },
+        ),
+        at(
+            0.0,
+            TraceEventKind::TaskLaunched {
+                slot: 3,
+                job,
+                stage: stage0,
+                partition: 2,
+                attempt: 1,
+                level: "RACK_LOCAL",
+                speculative: true,
+                warm: true,
+            },
+        ),
+        at(0.0, TraceEventKind::OfferRoundEnded { assignments: 1 }),
+        at(
+            1.25,
+            TraceEventKind::TaskFinished {
+                slot: 3,
+                job,
+                stage: stage0,
+                partition: 2,
+                attempt: 1,
+                duration_secs: 1.25,
+            },
+        ),
+        at(1.25, TraceEventKind::CopyKilled { slot: 0, job, stage: stage0, partition: 2 }),
+        at(
+            1.25,
+            TraceEventKind::ReservationGranted {
+                slot: 3,
+                job,
+                priority: Priority::new(-2),
+                stage: Some(stage1),
+                deadline_secs: Some(31.25),
+            },
+        ),
+        at(
+            1.5,
+            TraceEventKind::PrereserveFilled {
+                slot: 0,
+                job,
+                stage: stage1,
+                priority: Priority::new(-2),
+                deadline_secs: None,
+            },
+        ),
+        at(2.0, TraceEventKind::LocalityUnlocked),
+        at(2.5, TraceEventKind::ReservationExpired { slot: 0, job }),
+        at(3.0, TraceEventKind::StageCompleted { job, stage: stage0 }),
+        at(3.0, TraceEventKind::BarrierCleared { job, stage: stage1 }),
+        at(3.0, TraceEventKind::StaleReservationReleased { slot: 3, job, stage: stage0 }),
+        at(4.0, TraceEventKind::ReservationReleased { slot: 3, job }),
+        at(4.0, TraceEventKind::JobCompleted { job }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn witness_agrees_with_event_names() {
+        for e in super::one_of_each() {
+            assert_eq!(super::assert_covers_schema(&e.kind), e.kind.name());
+        }
+    }
+}

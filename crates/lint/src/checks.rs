@@ -18,7 +18,7 @@ use crate::report::Diagnostic;
 /// executes between seed and report must be a pure function of its
 /// inputs. D001 applies only here.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["cluster", "core", "dag", "scheduler", "sim", "simcore", "trace", "workload"];
+    &["cluster", "core", "dag", "explain", "scheduler", "sim", "simcore", "trace", "workload"];
 
 /// The only files allowed to read the wall clock (D002). Timing flows
 /// through `ssr_sim::walltime` so stderr `--timing` output can never

@@ -242,10 +242,19 @@ impl TaskScheduler {
         let mut state = JobState::new(id, spec, now);
         state.set_weight(weight);
         if self.trace.is_some() {
+            let stages = state
+                .spec()
+                .iter_stage_ids()
+                .map(|s| ssr_trace::StageMeta {
+                    tasks: state.spec().stage(s).parallelism(),
+                    parents: state.spec().parents(s).to_vec(),
+                })
+                .collect();
             let kind = TraceEventKind::JobSubmitted {
                 job: id,
                 name: state.spec().name().to_owned(),
                 priority: state.priority(),
+                stages,
             };
             self.emit(now, kind);
         }
@@ -308,8 +317,8 @@ impl TaskScheduler {
                         viable
                     });
                     for job in dropped {
-                        let reason = self.deny_reason(job, now);
-                        self.emit(now, TraceEventKind::OfferDeclined { job, reason });
+                        let (reason, stage) = self.deny_reason(job, now);
+                        self.emit(now, TraceEventKind::OfferDeclined { job, reason, stage });
                     }
                 } else {
                     candidates.retain(|c| self.viable_on_reserved(c.id, c.priority, now));
@@ -339,8 +348,8 @@ impl TaskScheduler {
                     }
                     None => {
                         if self.trace.is_some() {
-                            let reason = self.deny_reason(job, now);
-                            self.emit(now, TraceEventKind::OfferDeclined { job, reason });
+                            let (reason, stage) = self.deny_reason(job, now);
+                            self.emit(now, TraceEventKind::OfferDeclined { job, reason, stage });
                         }
                         candidates.swap_remove(pos);
                     }
@@ -364,15 +373,18 @@ impl TaskScheduler {
         assignments
     }
 
-    /// Classifies why a candidate job could not place a task this round.
-    /// Only called on the trace path, so the O(slots) re-examination costs
-    /// nothing when tracing is disabled.
-    fn deny_reason(&self, job: JobId, now: SimTime) -> DenyReason {
+    /// Classifies why a candidate job could not place a task this round,
+    /// along with the lowest-id pending stage that was blocked (`None`
+    /// when the job had no pending stage). Only called on the trace path,
+    /// so the O(slots) re-examination costs nothing when tracing is
+    /// disabled.
+    fn deny_reason(&self, job: JobId, now: SimTime) -> (DenyReason, Option<ssr_dag::StageId>) {
         let Some(state) = self.jobs.get(job) else {
-            return DenyReason::NoPendingTasks;
+            return (DenyReason::NoPendingTasks, None);
         };
         let priority = state.priority();
         let mut has_pending = false;
+        let mut blocked_stage: Option<ssr_dag::StageId> = None;
         let mut usable_blocked_by_locality = false;
         let mut saw_denied_reservation = false;
         for tsm in state.active_tasksets() {
@@ -380,6 +392,10 @@ impl TaskScheduler {
                 continue;
             }
             has_pending = true;
+            blocked_stage = Some(match blocked_stage {
+                Some(s) => s.min(tsm.stage()),
+                None => tsm.stage(),
+            });
             let demand = state.spec().stage(tsm.stage()).demand();
             let mut usable = self.slots.free_slots().any(|s| self.slots.size(s) >= demand);
             for slot in self.slots.reserved_slots() {
@@ -401,7 +417,7 @@ impl TaskScheduler {
                 usable_blocked_by_locality = true;
             }
         }
-        if !has_pending {
+        let reason = if !has_pending {
             DenyReason::NoPendingTasks
         } else if usable_blocked_by_locality {
             DenyReason::LocalityWait
@@ -409,7 +425,8 @@ impl TaskScheduler {
             DenyReason::ReservationDenied
         } else {
             DenyReason::NoFittingSlot
-        }
+        };
+        (reason, blocked_stage)
     }
 
     /// Re-derives the cached snapshot vector of schedulable jobs.
@@ -1697,12 +1714,15 @@ mod tests {
         let denial = events
             .iter()
             .find_map(|e| match e.kind {
-                TraceEventKind::OfferDeclined { job, reason } => Some((job, reason)),
+                TraceEventKind::OfferDeclined { job, reason, stage } => {
+                    Some((job, reason, stage))
+                }
                 _ => None,
             })
             .expect("a decline was traced");
         assert_eq!(denial.0, low);
         assert_eq!(denial.1, ssr_trace::DenyReason::ReservationDenied);
+        assert!(denial.2.is_some(), "a declined pending job names its blocked stage");
         // The reservation grant names the foreground job.
         let grant_job = events
             .iter()

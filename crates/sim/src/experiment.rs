@@ -191,6 +191,20 @@ impl ExperimentOutcome {
     }
 }
 
+/// The JSONL decision trace of one run-alone baseline, produced by
+/// [`Experiment::run_traced_with_baselines`].
+///
+/// The alone run is the attribution reference: `ssr-explain` subtracts
+/// its per-cause waits from the contended run's to decompose the
+/// slowdown gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AloneTrace {
+    /// The foreground job's name.
+    pub job: String,
+    /// The complete JSONL trace document of the job running alone.
+    pub jsonl: String,
+}
+
 /// A contention experiment: foreground jobs (measured) run against
 /// background jobs (load), each foreground job also measured running
 /// alone to obtain the slowdown denominator.
@@ -252,6 +266,26 @@ impl Experiment {
         .run()
     }
 
+    /// [`alone_report`](Self::alone_report) with a JSONL decision-trace
+    /// sink attached, returning the report and the rendered trace.
+    fn alone_report_traced(&self, job: &JobSpec) -> (SimReport, String) {
+        let (report, sink) = Simulation::new(
+            self.sim_config.clone(),
+            PolicyConfig::WorkConserving,
+            self.order,
+            vec![job.clone()],
+        )
+        .with_trace_sink(Box::new(ssr_trace::JsonlSink::new()))
+        .run_traced();
+        let jsonl = sink
+            .expect("sink attached above")
+            .into_any()
+            .downcast::<ssr_trace::JsonlSink>()
+            .expect("JsonlSink recovered")
+            .finish();
+        (report, jsonl)
+    }
+
     /// Runs one foreground job alone (work-conserving — reservations are
     /// irrelevant without contention) and returns its JCT in seconds.
     ///
@@ -299,24 +333,68 @@ impl Experiment {
     }
 
     /// [`run`](Experiment::run) with an optional decision-trace sink on
-    /// the *contended* simulation (the alone baselines are never traced —
-    /// only the contended run's scheduling decisions are of interest).
+    /// the *contended* simulation. The alone baselines are not traced on
+    /// this path; use
+    /// [`run_traced_with_baselines`](Experiment::run_traced_with_baselines)
+    /// when the attribution reference is needed.
     pub fn run_traced(
         &self,
         sink: Option<Box<dyn ssr_trace::TraceSink>>,
     ) -> (ExperimentOutcome, Option<Box<dyn ssr_trace::TraceSink>>) {
+        let (outcome, sink, _) = self.run_traced_inner(sink, false);
+        (outcome, sink)
+    }
+
+    /// [`run_traced`](Experiment::run_traced) plus a JSONL decision trace
+    /// of every run-alone baseline, in foreground order.
+    ///
+    /// Attaching the baseline sinks never changes the simulations
+    /// themselves (tracing is observation-only), so the outcome is
+    /// byte-identical to [`run`](Experiment::run); the explicit method
+    /// keeps the common untraced path free of even the sink allocation.
+    pub fn run_traced_with_baselines(
+        &self,
+        sink: Option<Box<dyn ssr_trace::TraceSink>>,
+    ) -> (ExperimentOutcome, Option<Box<dyn ssr_trace::TraceSink>>, Vec<AloneTrace>) {
+        self.run_traced_inner(sink, true)
+    }
+
+    fn run_traced_inner(
+        &self,
+        sink: Option<Box<dyn ssr_trace::TraceSink>>,
+        trace_baselines: bool,
+    ) -> (ExperimentOutcome, Option<Box<dyn ssr_trace::TraceSink>>, Vec<AloneTrace>) {
         let started = crate::walltime::Stopwatch::start();
         let (contended, sink) = self.run_contended_traced(sink);
-        let alone_reports = crate::runner::par_map(
+        let alone_runs: Vec<(SimReport, Option<String>)> = crate::runner::par_map(
             crate::runner::worker_count(),
             &self.foreground,
-            |job| self.alone_report(job),
+            |job| {
+                if trace_baselines {
+                    let (report, jsonl) = self.alone_report_traced(job);
+                    (report, Some(jsonl))
+                } else {
+                    (self.alone_report(job), None)
+                }
+            },
         );
+        let alone_traces: Vec<AloneTrace> = self
+            .foreground
+            .iter()
+            .zip(&alone_runs)
+            .filter_map(|(job, (_, jsonl))| {
+                jsonl.as_ref().map(|jsonl| AloneTrace {
+                    job: job.name().to_owned(),
+                    jsonl: jsonl.clone(),
+                })
+            })
+            .collect();
+        let alone_reports: Vec<&SimReport> = alone_runs.iter().map(|(r, _)| r).collect();
         let mut events_processed = contended.events_processed;
         let foreground = self
             .foreground
             .iter()
-            .zip(&alone_reports)
+            .zip(alone_reports)
             .map(|(job, alone_report)| {
                 events_processed += alone_report.events_processed;
                 let alone = alone_report
@@ -340,7 +418,7 @@ impl Experiment {
             events_processed,
             wall_secs: started.elapsed_secs(),
         };
-        (outcome, sink)
+        (outcome, sink, alone_traces)
     }
 }
 
@@ -437,6 +515,33 @@ mod tests {
     #[should_panic(expected = "must lie in [0, 1]")]
     fn invalid_isolation_target_panics() {
         let _ = PolicyConfig::ssr_with_isolation(3.0);
+    }
+
+    #[test]
+    fn traced_baselines_match_untraced_run() {
+        let build = || {
+            Experiment::new(sim_config(), PolicyConfig::ssr_strict(), OrderConfig::FifoPriority)
+                .foreground([foreground()])
+                .background([background()])
+        };
+        let plain = build().run();
+        let (traced, sink, alone) =
+            build().run_traced_with_baselines(Some(Box::new(ssr_trace::JsonlSink::new())));
+        // The contended trace sink must not perturb the outcome, and the
+        // alone baselines must agree whether or not they carry a sink.
+        assert_eq!(plain.foreground.len(), traced.foreground.len());
+        for (a, b) in plain.foreground.iter().zip(&traced.foreground) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.alone_jct_secs.to_bits(), b.alone_jct_secs.to_bits());
+            assert_eq!(a.contended_jct_secs.to_bits(), b.contended_jct_secs.to_bits());
+        }
+        assert!(sink.is_some());
+        assert_eq!(alone.len(), 1);
+        assert_eq!(alone[0].job, "fg");
+        assert!(alone[0].jsonl.starts_with(
+            r#"{"event":"trace-start","fields":{"schema_version":2}"#
+        ));
+        assert!(alone[0].jsonl.contains(r#""event":"job-completed""#));
     }
 
     #[test]

@@ -45,6 +45,21 @@ impl std::fmt::Display for DenyReason {
     }
 }
 
+/// Static description of one stage of a submitted job, carried on
+/// [`TraceEventKind::JobSubmitted`] (schema v2).
+///
+/// Together the per-stage entries reproduce the job's DAG shape, which is
+/// what lets `ssr-explain` reconstruct pending-task counts and the stage
+/// critical path from the trace alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageMeta {
+    /// Partition (task) count of the stage.
+    pub tasks: u32,
+    /// Upstream stages that must complete before this stage can start.
+    /// Empty for root stages.
+    pub parents: Vec<StageId>,
+}
+
 /// One scheduler decision, without its timestamp.
 ///
 /// Field names mirror the JSONL schema (see [`crate::JsonlSink`]); identifiers
@@ -60,6 +75,9 @@ pub enum TraceEventKind {
         name: String,
         /// Submission priority.
         priority: Priority,
+        /// Per-stage task counts and DAG edges, indexed by stage id
+        /// (schema v2; empty when read from a v1 trace).
+        stages: Vec<StageMeta>,
     },
     /// `resource_offers` began; counts are the pool state entering the round
     /// (after pre-reservation fill).
@@ -82,6 +100,10 @@ pub enum TraceEventKind {
         job: JobId,
         /// The policy/engine reason for the denial.
         reason: DenyReason,
+        /// The lowest-id stage with pending tasks that failed to place
+        /// (schema v2; `None` when the job had no pending stage or when
+        /// read from a v1 trace).
+        stage: Option<StageId>,
     },
     /// A task instance started running on a slot.
     TaskLaunched {

@@ -29,7 +29,7 @@ mod event;
 mod metrics;
 mod sink;
 
-pub use event::{DenyReason, TraceEvent, TraceEventKind};
+pub use event::{DenyReason, StageMeta, TraceEvent, TraceEventKind};
 pub use metrics::{Histogram, MetricsReport, MetricsSink, HOLD_TIME_BOUNDS_SECS};
 pub use sink::{JsonlSink, SplitSink, TraceSink, VecSink, SCHEMA_VERSION};
 
@@ -51,6 +51,10 @@ mod tests {
                     job,
                     name: "fg".into(),
                     priority: Priority::new(10),
+                    stages: vec![
+                        StageMeta { tasks: 4, parents: vec![] },
+                        StageMeta { tasks: 2, parents: vec![StageId::new(0)] },
+                    ],
                 },
             ),
             TraceEvent::new(
@@ -134,11 +138,14 @@ mod tests {
         assert_eq!(lines.len(), 9);
         assert_eq!(
             lines[0],
-            r#"{"event":"trace-start","fields":{"schema_version":1},"seq":0,"time_secs":0.0}"#
+            r#"{"event":"trace-start","fields":{"schema_version":2},"seq":0,"time_secs":0.0}"#
         );
         assert_eq!(
             lines[1],
-            r#"{"event":"job-submitted","fields":{"job":3,"name":"fg","priority":10},"seq":1,"time_secs":0.0}"#
+            concat!(
+                r#"{"event":"job-submitted","fields":{"job":3,"name":"fg","priority":10,"#,
+                r#""stages":[{"parents":[],"tasks":4},{"parents":[0],"tasks":2}]},"seq":1,"time_secs":0.0}"#
+            )
         );
         assert_eq!(
             lines[3],
@@ -188,6 +195,65 @@ mod tests {
         assert_eq!(h.buckets[1], 1); // <= 1.0
         assert_eq!(h.buckets[HOLD_TIME_BOUNDS_SECS.len()], 1); // overflow
         assert_eq!(h.count, 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_and_clamp() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..50 {
+            h.record(0.25); // bucket 0: (0, 0.5]
+        }
+        for _ in 0..40 {
+            h.record(3.0); // bucket 3: (2, 4]
+        }
+        for _ in 0..9 {
+            h.record(100.0); // bucket 8: (64, 128]
+        }
+        h.record(1000.0); // overflow
+        let q = |q: f64| h.quantile(q).expect("non-empty");
+        assert!((q(0.50) - 0.5).abs() < 1e-9, "p50 {}", q(0.50));
+        assert!((q(0.90) - 4.0).abs() < 1e-9, "p90 {}", q(0.90));
+        // p95 lands 5/9 of the way through the (64, 128] bucket.
+        assert!((q(0.95) - (64.0 + 64.0 * 5.0 / 9.0)).abs() < 1e-9, "p95 {}", q(0.95));
+        assert!((q(0.99) - 128.0).abs() < 1e-9, "p99 {}", q(0.99));
+        // The overflow bucket clamps to the largest bound.
+        assert!((q(1.0) - 256.0).abs() < 1e-9, "p100 {}", q(1.0));
+    }
+
+    #[test]
+    fn metrics_json_is_sorted_pinned_and_byte_stable() {
+        let render = || {
+            let mut sink = MetricsSink::new();
+            for e in sample_events() {
+                sink.record(&e);
+            }
+            sink.into_report().render_json()
+        };
+        let json = render();
+        assert_eq!(json, render(), "metrics JSON must be byte-stable");
+        // Root keys appear in sorted order.
+        let mut last = 0;
+        for key in [
+            "\"barriers_cleared\"",
+            "\"jobs_completed\"",
+            "\"offers_declined\"",
+            "\"reservation_hold_secs\"",
+            "\"slot_seconds_per_job\"",
+            "\"tasks_launched\"",
+        ] {
+            let at = json.find(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(at > last || last == 0, "{key} out of order");
+            last = at;
+        }
+        // Pinned summary values for the sample stream: one reservation held
+        // 2.5s (bucket (2, 4]), one task busy 1.5 slot-seconds for job 3.
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert!(json.contains("\"mean_secs\": 2.5"), "{json}");
+        assert!(json.contains("\"p50_secs\": 3.0"), "{json}");
+        assert!(json.contains("\"p99_secs\": 3.98"), "{json}");
+        assert!(json.contains("\"3\": 1.5"), "{json}");
+        assert!(json.contains("\"speculation_win_rate\": null"), "{json}");
     }
 
     #[test]

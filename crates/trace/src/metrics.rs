@@ -51,6 +51,35 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts by
+    /// linear interpolation within the containing bucket, the same estimator
+    /// Prometheus' `histogram_quantile` uses. Values in the overflow bucket
+    /// clamp to the largest bound. Returns `None` when the histogram is
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let last_bound = HOLD_TIME_BOUNDS_SECS[HOLD_TIME_BOUNDS_SECS.len() - 1];
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (below + n) as f64 >= target {
+                let Some(&hi) = HOLD_TIME_BOUNDS_SECS.get(i) else {
+                    return Some(last_bound); // overflow bucket
+                };
+                let lo = if i == 0 { 0.0 } else { HOLD_TIME_BOUNDS_SECS[i - 1] };
+                let frac = ((target - below as f64) / n as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            below += n;
+        }
+        Some(last_bound)
+    }
 }
 
 /// Aggregated view of one traced run.
@@ -171,6 +200,68 @@ impl MetricsReport {
             }
         }
         out
+    }
+
+    /// Renders the report as pretty-printed JSON with keys in sorted
+    /// (ASCII) order at every nesting level — the same byte-stability
+    /// contract as the JSONL trace — including p50/p90/p99 summaries of
+    /// the reservation hold-time histogram.
+    pub fn render_json(&self) -> String {
+        use serde::Value;
+        let obj = |entries: Vec<(&str, Value)>| {
+            Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        let uint = Value::UInt;
+        let opt = |v: Option<f64>| v.map(Value::Float).unwrap_or(Value::Null);
+
+        let h = &self.reservation_hold_secs;
+        let hold = obj(vec![
+            (
+                "bounds_secs",
+                Value::Array(HOLD_TIME_BOUNDS_SECS.iter().copied().map(Value::Float).collect()),
+            ),
+            ("buckets", Value::Array(h.buckets.iter().copied().map(Value::UInt).collect())),
+            ("count", uint(h.count)),
+            ("mean_secs", Value::Float(h.mean())),
+            ("p50_secs", opt(h.quantile(0.50))),
+            ("p90_secs", opt(h.quantile(0.90))),
+            ("p99_secs", opt(h.quantile(0.99))),
+            ("sum_secs", Value::Float(h.sum)),
+        ]);
+        let declined = Value::Object(
+            self.offers_declined.iter().map(|(k, &n)| (k.clone(), uint(n))).collect(),
+        );
+        // Job-id keys must re-sort as strings: numeric order "9" < "10"
+        // violates the ASCII-sorted-keys contract.
+        let mut per_job: Vec<(String, Value)> = self
+            .slot_seconds_per_job
+            .iter()
+            .map(|(job, &secs)| (job.to_string(), Value::Float(secs)))
+            .collect();
+        per_job.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let root = obj(vec![
+            ("barriers_cleared", uint(self.barriers_cleared)),
+            ("copy_kills", uint(self.copy_kills)),
+            ("copy_wins", uint(self.copy_wins)),
+            ("jobs_completed", uint(self.jobs_completed)),
+            ("jobs_submitted", uint(self.jobs_submitted)),
+            ("locality_unlocks", uint(self.locality_unlocks)),
+            ("offer_rounds", uint(self.offer_rounds)),
+            ("offers_declined", declined),
+            ("prereserves_filled", uint(self.prereserves_filled)),
+            ("reservation_hold_secs", hold),
+            ("reservations_expired", uint(self.reservations_expired)),
+            ("reservations_granted", uint(self.reservations_granted)),
+            ("reservations_released", uint(self.reservations_released)),
+            ("slot_seconds_per_job", Value::Object(per_job)),
+            ("speculation_win_rate", opt(self.speculation_win_rate())),
+            ("speculative_launched", uint(self.speculative_launched)),
+            ("stale_reservations_released", uint(self.stale_reservations_released)),
+            ("tasks_launched", uint(self.tasks_launched)),
+        ]);
+        debug_assert!(crate::sink::sorted_keys(&root), "metrics JSON keys must be sorted");
+        serde_json::to_string_pretty(&crate::sink::Raw(root)).expect("serializer is total")
     }
 }
 

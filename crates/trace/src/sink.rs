@@ -14,7 +14,14 @@ use crate::metrics::MetricsSink;
 /// JSONL schema version emitted in the `trace-start` header line.
 ///
 /// Bump whenever an event's name or field set changes shape.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// # History
+///
+/// - **v1** — initial 16-event schema.
+/// - **v2** — `job-submitted` gained `stages` (per-stage task counts and
+///   parent edges); `offer-declined` gained `stage` (the blocked stage).
+///   Readers accepting v1 treat the missing fields as empty/absent.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Receiver for scheduler decision events.
 ///
@@ -74,8 +81,8 @@ impl TraceSink for VecSink {
 /// discipline as `ssr-lint --format json`, so equal traces are equal bytes:
 ///
 /// ```text
-/// {"event":"trace-start","fields":{"schema_version":1},"seq":0,"time_secs":0.0}
-/// {"event":"job-submitted","fields":{"job":0,"name":"fg","priority":10},"seq":1,"time_secs":0.0}
+/// {"event":"trace-start","fields":{"schema_version":2},"seq":0,"time_secs":0.0}
+/// {"event":"job-submitted","fields":{"job":0,"name":"fg","priority":10,"stages":[{"parents":[],"tasks":4}]},"seq":1,"time_secs":0.0}
 /// ```
 ///
 /// `seq` is a per-trace monotone counter that pins the relative order of
@@ -177,10 +184,32 @@ fn event_fields(kind: &TraceEventKind) -> Value {
     let uint = |n: u32| Value::UInt(u64::from(n));
     let opt_secs = |d: Option<f64>| d.map(Value::Float).unwrap_or(Value::Null);
     match kind {
-        K::JobSubmitted { job, name, priority } => obj(vec![
+        K::JobSubmitted { job, name, priority, stages } => obj(vec![
             ("job", Value::UInt(job.as_u64())),
             ("name", Value::Str(name.clone())),
             ("priority", Value::Int(i64::from(priority.level()))),
+            (
+                "stages",
+                Value::Array(
+                    stages
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                (
+                                    "parents".to_owned(),
+                                    Value::Array(
+                                        s.parents
+                                            .iter()
+                                            .map(|p| Value::UInt(u64::from(p.as_u32())))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("tasks".to_owned(), Value::UInt(u64::from(s.tasks))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]),
         K::OfferRoundStarted { free, running, reserved } => obj(vec![
             ("free", Value::UInt(*free as u64)),
@@ -190,9 +219,10 @@ fn event_fields(kind: &TraceEventKind) -> Value {
         K::OfferRoundEnded { assignments } => {
             obj(vec![("assignments", Value::UInt(*assignments as u64))])
         }
-        K::OfferDeclined { job, reason } => obj(vec![
+        K::OfferDeclined { job, reason, stage } => obj(vec![
             ("job", Value::UInt(job.as_u64())),
             ("reason", Value::Str(reason.as_str().into())),
+            ("stage", stage.map(|s| uint(s.as_u32())).unwrap_or(Value::Null)),
         ]),
         K::TaskLaunched { slot, job, stage, partition, attempt, level, speculative, warm } => {
             obj(vec![
@@ -253,7 +283,7 @@ fn event_fields(kind: &TraceEventKind) -> Value {
 }
 
 /// Checks that an object tree's keys are in sorted order (debug builds only).
-fn sorted_keys(v: &Value) -> bool {
+pub(crate) fn sorted_keys(v: &Value) -> bool {
     match v {
         Value::Object(entries) => {
             entries.windows(2).all(|w| w[0].0 < w[1].0) && entries.iter().all(|(_, v)| sorted_keys(v))
@@ -264,7 +294,7 @@ fn sorted_keys(v: &Value) -> bool {
 }
 
 /// Forwards an already-built `Value` through the `Serialize` entry point.
-struct Raw(Value);
+pub(crate) struct Raw(pub(crate) Value);
 
 impl serde::Serialize for Raw {
     fn to_value(&self) -> Value {

@@ -1,11 +1,16 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde::Value`
 //! tree as JSON text with the same conventions as the real crate (compact
 //! and 2-space-indented pretty forms, shortest-round-trip float notation,
-//! non-finite floats rendered as `null`).
+//! non-finite floats rendered as `null`), and parses JSON text back into
+//! a [`Value`] tree via [`from_str`].
 //!
 //! Output is deterministic: object keys keep field declaration order, so
 //! two serializations of equal values are byte-identical — the property
 //! the determinism regression tests in `tests/determinism.rs` rely on.
+//! Parsing distinguishes number shapes the way the workspace writes them:
+//! a literal without `.`/`e` parses as `UInt` (or `Int` when negative),
+//! anything fractional or exponential as `Float`, so serialize → parse
+//! round-trips the `Value` variant exactly.
 
 #![forbid(unsafe_code)]
 
@@ -13,14 +18,21 @@ use std::fmt;
 
 pub use serde::Value;
 
-/// Serialization error. The stand-in serializer is total, so this is never
-/// produced, but the `Result` return keeps call sites source-compatible.
+/// Serialization or parse error. The stand-in serializer is total, so only
+/// [`from_str`] ever produces one; the `Result` returns keep call sites
+/// source-compatible with the real crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
+impl Error {
+    fn parse(offset: usize, msg: impl Into<String>) -> Self {
+        Error(format!("at byte {offset}: {}", msg.into()))
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json serialization error: {}", self.0)
+        write!(f, "json error: {}", self.0)
     }
 }
 
@@ -46,6 +58,249 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses one JSON document into a [`Value`] tree.
+///
+/// Numbers without a fraction or exponent parse as `UInt` (non-negative)
+/// or `Int` (negative); anything with `.`, `e` or `E` parses as `Float`.
+/// Object keys keep their document order.
+///
+/// # Errors
+///
+/// Returns [`Error`] (with a byte offset) on malformed input or trailing
+/// non-whitespace after the document.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected literal '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::parse(self.pos, format!("unexpected character '{}'", c as char))),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs wholesale; strings are valid UTF-8 by
+            // construction (`&str` input), so only '"' and '\\' stop us.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("slice boundaries fall on ASCII bytes"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(Error::parse(self.pos, "unescaped control character")),
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let c = self.peek().ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let high = self.hex4()?;
+                let scalar = if (0xD800..0xDC00).contains(&high) {
+                    // Surrogate pair: the low half must follow immediately.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let low = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return Err(Error::parse(self.pos, "invalid low surrogate"));
+                        }
+                        0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                    } else {
+                        return Err(Error::parse(self.pos, "lone high surrogate"));
+                    }
+                } else {
+                    high
+                };
+                out.push(
+                    char::from_u32(scalar)
+                        .ok_or_else(|| Error::parse(self.pos, "invalid unicode escape"))?,
+                );
+            }
+            other => {
+                return Err(Error::parse(
+                    self.pos,
+                    format!("unknown escape '\\{}'", other as char),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let Some(hex) = self.bytes.get(self.pos..end) else {
+            return Err(Error::parse(self.pos, "truncated \\u escape"));
+        };
+        let hex = std::str::from_utf8(hex)
+            .ok()
+            .filter(|h| h.bytes().all(|b| b.is_ascii_hexdigit()))
+            .ok_or_else(|| Error::parse(self.pos, "non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(u32::from_str_radix(hex, 16).expect("validated hex digits"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII");
+        if fractional {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse(start, format!("malformed number '{text}'")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::parse(start, format!("integer out of range '{text}'")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::parse(start, format!("integer out of range '{text}'")))
+        }
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -161,6 +416,55 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let v = Value::Object(vec![
+            ("count".into(), Value::UInt(3)),
+            ("delta".into(), Value::Int(-2)),
+            ("items".into(), Value::Array(vec![Value::Float(0.1), Value::Null, Value::Bool(true)])),
+            ("name".into(), Value::Str("x\"y\n\\z".into())),
+        ]);
+        let compact = to_string(&Wrapper(v.clone())).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&Wrapper(v.clone())).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_number_shapes() {
+        assert_eq!(from_str("7").unwrap(), Value::UInt(7));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("7.5").unwrap(), Value::Float(7.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-0.25").unwrap(), Value::Float(-0.25));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(from_str(r#""aA\n\t\"\\ b""#).unwrap(), Value::Str("aA\n\t\"\\ b".into()));
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "1 2", "\"unterminated", "{\"a\" 1}", "nul", "01a"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_empty_containers_and_whitespace() {
+        assert_eq!(from_str(" { } ").unwrap(), Value::Object(vec![]));
+        assert_eq!(from_str("\n[\t]\r\n").unwrap(), Value::Array(vec![]));
+        assert_eq!(
+            from_str(r#"{"a":[],"b":{}}"#).unwrap(),
+            Value::Object(vec![
+                ("a".into(), Value::Array(vec![])),
+                ("b".into(), Value::Object(vec![])),
+            ])
+        );
     }
 
     /// Forwards an already-built `Value` through the `Serialize` entry point.
