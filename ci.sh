@@ -43,4 +43,23 @@ cmp "$trace_dir/explain1.json" "$trace_dir/explain2.json"
 cmp "$trace_dir/figexplain1.txt" "$trace_dir/figexplain2.txt"
 grep -q "slowdown attribution" "$trace_dir/explain1.txt"
 
+echo "==> fault smoke (faulted run is deterministic and invariant-clean)"
+for i in 1 2; do
+  ./target/release/ssr-cli run --cluster 2x2 --policy ssr --seed 7 \
+    --fg "pipeline:phases=3,par=4,prio=10" --bg "maponly:tasks=16,secs=10" \
+    --faults "crash:node=0,at=3,down=8;storm:at=20,secs=10,factor=2" \
+    --trace "$trace_dir/faulted$i.jsonl" > /dev/null
+done
+cmp "$trace_dir/faulted1.jsonl" "$trace_dir/faulted2.jsonl"
+grep -q '"event":"task-crashed"' "$trace_dir/faulted1.jsonl"
+./target/release/ssr-cli check "$trace_dir/faulted1.jsonl" | grep -q "0 violations"
+
+echo "==> protocol exploration (pinned state count, byte-identical JSON)"
+for i in 1 2; do
+  ./target/release/ssr-cli check --explore --json > "$trace_dir/explore$i.json"
+done
+cmp "$trace_dir/explore1.json" "$trace_dir/explore2.json"
+grep -q '"states": 91' "$trace_dir/explore1.json"
+grep -q '"clean": true' "$trace_dir/explore1.json"
+
 echo "==> ci.sh: all green"

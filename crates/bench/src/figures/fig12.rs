@@ -120,6 +120,83 @@ mod tests {
         );
     }
 
+    /// Fig. 12(a) again, with a node crashing mid-run and healing later:
+    /// the decomposition must still conserve the contended−alone gap, the
+    /// crash-induced stall must surface in the `fault-recovery` bucket,
+    /// and the invariant checker must stay clean on both the faulted
+    /// contended trace and the fault-free alone baseline.
+    #[test]
+    fn attribution_conserves_on_faulted_fig12a_scenario() {
+        use ssr_sim::{FaultKind, FaultPlan};
+        use ssr_simcore::{SimDuration, SimTime};
+        use ssr_trace::JsonlSink;
+
+        let app = crate::figures::common::foreground_apps()
+            .into_iter()
+            .next()
+            .expect("kmeans exists");
+        // The foreground arrives at t = 60 s (after the background builds
+        // up); most of the cluster crashes 20 s later. The outage must be
+        // large enough to *block* the foreground — a small one just
+        // requeues tasks onto free survivors in the same instant, and an
+        // unblocked job accrues no deficit anywhere.
+        let mut plan = FaultPlan::new();
+        for node in 0..20 {
+            plan.push(
+                SimTime::from_secs(80),
+                FaultKind::NodeCrash { node, down: Some(SimDuration::from_secs(40)) },
+            );
+        }
+        let (outcome, sink, alone) = Experiment::new(
+            cluster_sim(ec2_cluster(), 51).stop_after([app.name()]).with_faults(plan),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+        )
+        .foreground([app.clone()])
+        .background(background_jobs(40, 1.0, 51))
+        .run_traced_with_baselines(Some(Box::new(JsonlSink::new())));
+
+        let contended_doc = sink
+            .expect("sink attached")
+            .into_any()
+            .downcast::<JsonlSink>()
+            .expect("JsonlSink recovered")
+            .finish();
+        let contended = ssr_explain::parse_trace(&contended_doc).expect("contended trace parses");
+        // The alone baseline measures the job undisturbed: faults are
+        // stripped from it even when the contended run schedules them.
+        assert_eq!(alone.len(), 1);
+        assert!(
+            !alone[0].jsonl.contains(r#""event":"task-crashed""#),
+            "alone baseline must run fault-free"
+        );
+        let baseline = ssr_explain::parse_trace(&alone[0].jsonl).expect("alone trace parses");
+        assert!(
+            contended_doc.contains(r#""event":"slot-offline""#),
+            "the crash must actually strike the contended run"
+        );
+
+        let a = ssr_explain::attribute(&contended, &baseline, app.name())
+            .expect("foreground completes in both traces");
+        assert!(
+            a.conserves(1e-6),
+            "components {} != gap {} on the faulted run",
+            a.components_sum(),
+            a.gap_secs
+        );
+        assert!(
+            a.fault_recovery_secs > 0.0,
+            "crash-induced stalls must land in fault-recovery: {a:?}"
+        );
+        // The checker passes the figure scenario with and without faults.
+        let checked = ssr_check::InvariantChecker::new().check_all(&contended.events);
+        assert!(checked.is_clean(), "faulted figure trace:\n{}", checked.render_text());
+        let checked_alone = ssr_check::InvariantChecker::new().check_all(&baseline.events);
+        assert!(checked_alone.is_clean(), "alone trace:\n{}", checked_alone.render_text());
+        // The experiment still measures the foreground.
+        assert!(outcome.slowdown_of(app.name()).is_some());
+    }
+
     #[test]
     fn ssr_enforces_isolation_where_work_conserving_fails() {
         let out = super::run_scaled(15, 5);

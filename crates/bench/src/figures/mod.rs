@@ -172,7 +172,7 @@ mod tests {
         let a = super::decision_trace_jsonl(11);
         let b = super::decision_trace_jsonl(11);
         assert_eq!(a, b, "same-seed traces must be byte-identical");
-        assert!(a.starts_with(r#"{"event":"trace-start","fields":{"schema_version":2}"#));
+        assert!(a.starts_with(r#"{"event":"trace-start","fields":{"schema_version":3}"#));
         for needle in ["job-submitted", "offer-round-started", "task-launched", "job-completed"] {
             assert!(
                 a.contains(&format!(r#""event":"{needle}""#)),

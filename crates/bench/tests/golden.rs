@@ -53,3 +53,53 @@ fn fig15_reduced_matches_golden_snapshot() {
     ssr_sim::runner::set_worker_override(Some(1));
     assert_golden("fig15_reduced.txt", &ssr_bench::figures::fig15::run_scaled(12, 5));
 }
+
+#[test]
+fn empty_fault_plan_is_zero_cost_on_figure_scenarios() {
+    // The fault hooks' zero-cost contract, made explicit: figure
+    // SimConfigs carry the default (empty) FaultPlan, and attaching an
+    // explicitly empty plan changes nothing — so the two snapshot tests
+    // above, whose goldens predate fault injection, double as the proof
+    // that an empty plan leaves figure output byte-identical.
+    use ssr_sim::{FaultPlan, OrderConfig, PolicyConfig, Simulation};
+    use ssr_simcore::dist::constant;
+    use ssr_simcore::SimTime;
+    use ssr_trace::JsonlSink;
+    use ssr_workload::synthetic::{map_only, pipeline_of};
+
+    let cluster = ssr_cluster::ClusterSpec::new(4, 2).unwrap();
+    let config = ssr_bench::figures::common::cluster_sim(cluster, 7);
+    assert!(config.faults().is_empty(), "figure SimConfigs must not schedule faults");
+
+    // The canonical contended scenario replays byte-identically with the
+    // default plan and with an explicitly attached empty plan.
+    let run = |config: ssr_sim::SimConfig| {
+        let fg = pipeline_of(
+            "fg",
+            &[(4, constant(2.0)), (2, constant(6.0))],
+            ssr_bench::figures::common::FG_PRIORITY,
+            SimTime::from_secs(5),
+        )
+        .unwrap();
+        let bg =
+            map_only("bg", 16, constant(9.0), ssr_bench::figures::common::BG_PRIORITY).unwrap();
+        let (report, sink) = Simulation::new(
+            config,
+            PolicyConfig::ssr_strict(),
+            OrderConfig::FifoPriority,
+            vec![fg, bg],
+        )
+        .with_trace_sink(Box::new(JsonlSink::new()))
+        .run_traced();
+        let jsonl = sink
+            .expect("sink attached")
+            .into_any()
+            .downcast::<JsonlSink>()
+            .expect("JsonlSink recovered")
+            .finish();
+        (serde_json::to_string_pretty(&report).unwrap(), jsonl)
+    };
+    let default_plan = run(config.clone());
+    let explicit_empty = run(config.with_faults(FaultPlan::new()));
+    assert_eq!(default_plan, explicit_empty, "an empty FaultPlan must be a no-op");
+}

@@ -8,7 +8,11 @@
 //!     --bg maponly:tasks=64,secs=60 --json
 //! ssr-cli tradeoff --alpha 1.6 --n 20
 //! ssr-cli deadline --p 0.9 --tm 2 --alpha 1.6 --n 20
+//! ssr-cli run --fg kmeans --bg google:jobs=20 \
+//!     --faults "crash:node=1,at=30,down=15" --trace faulted.jsonl
 //! ssr-cli explain trace.jsonl --alone alone-kmeans.jsonl
+//! ssr-cli check faulted.jsonl
+//! ssr-cli check --explore --json
 //! ssr-cli lint [--format json]
 //! ```
 
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
         "tradeoff" => cmd_tradeoff(rest),
         "deadline" => cmd_deadline(rest),
         "explain" => cmd_explain(rest),
+        "check" => cmd_check(rest),
         "lint" => return ssr_lint::run_cli(rest),
         "--help" | "-h" | "help" => {
             usage();
@@ -61,6 +66,9 @@ fn usage() {
          \x20 deadline  print the Eq. 2 reservation deadline for a target P\n\
          \x20 explain   analyze a JSONL decision trace (timeline, critical\n\
          \x20           paths, slowdown attribution)\n\
+         \x20 check     verify the reservation protocol: replay a trace\n\
+         \x20           through the invariant checker, or model-check the\n\
+         \x20           scheduler exhaustively with --explore\n\
          \x20 lint      run the workspace determinism linter (ssr-lint)\n\
          \n\
          run flags:\n\
@@ -72,6 +80,11 @@ fn usage() {
          \x20 --prereserve R       SSR pre-reservation threshold (default 0.5)\n\
          \x20 --stragglers         SSR: run copies on reserved slots (IV-C)\n\
          \x20 --speculation        status-quo progress-based speculation\n\
+         \x20 --faults SPEC        inject deterministic faults; `;`-separated clauses:\n\
+         \x20                      crash:node=N,at=S[,down=S] | revoke:slot=N,at=S\n\
+         \x20                      | partition:node=N,at=S,secs=S\n\
+         \x20                      | storm:at=S,secs=S,factor=F\n\
+         \x20                      | restart:node=N,at=S,down=S,rampup=S,cold=F\n\
          \x20 --order O            fifo-priority | fair | fifo\n\
          \x20 --locality-wait S    delay-scheduling wait seconds (default 3)\n\
          \x20 --any-slowdown F     ANY-level task slowdown factor (default 5)\n\
@@ -93,6 +106,20 @@ fn usage() {
          \x20                      slowdown attribution for that job\n\
          \x20 --json               emit the report as sorted-key JSON\n\
          \x20 --width N            gantt width in columns (default 72)\n\
+         \n\
+         check flags:\n\
+         \x20 TRACE                a JSONL decision trace to replay through the\n\
+         \x20                      invariant checker (exit 1 on violations)\n\
+         \x20 --explore            instead, exhaustively explore every offer/\n\
+         \x20                      finish/crash/restore interleaving of a small\n\
+         \x20                      configuration against the real scheduler\n\
+         \x20 --nodes N            explore: node count (default 2)\n\
+         \x20 --slots N            explore: slots per node (default 1)\n\
+         \x20 --fg-tasks N         explore: foreground tasks per stage (default 1)\n\
+         \x20 --bg-tasks N         explore: background tasks (default 2)\n\
+         \x20 --crashes N          explore: crash budget (default 1)\n\
+         \x20 --max-steps N        explore: depth bound (default 12)\n\
+         \x20 --json               emit the report as sorted-key JSON\n\
          \n\
          SPEC: kmeans|svm|pagerank[:par=8,iters=4,prio=10,...]\n\
          \x20     sql[:q=3|all,par=32,prio=10] | pipeline[:phases=3,par=8,alpha=1.6]\n\
@@ -117,7 +144,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let mut sim_config = SimConfig::new(options.cluster)
         .with_locality(options.locality.clone())
-        .with_seed(options.seed);
+        .with_seed(options.seed)
+        .with_faults(options.faults.clone());
     if let Some(s) = options.speculation {
         sim_config = sim_config.with_speculation(s);
     }
@@ -223,6 +251,71 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         print!("{}", report.render_json());
     } else {
         print!("{}", report.render_text(width));
+    }
+    Ok(())
+}
+
+/// `ssr-cli check TRACE [--json]` replays a JSONL decision trace through
+/// the reservation-protocol invariant checker; `ssr-cli check --explore`
+/// model-checks the real scheduler over every offer/finish/crash/restore
+/// interleaving of a small configuration. Both render byte-identical
+/// output across invocations and exit nonzero on violations.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let mut trace_path: Option<&String> = None;
+    let mut explore = false;
+    let mut json = false;
+    let mut cfg = ssr_check::ExploreConfig::small();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u32, String> {
+            let v = it.next().ok_or_else(|| format!("{name} requires a value"))?;
+            v.parse().map_err(|_| format!("{name} wants a count, got {v}"))
+        };
+        match arg.as_str() {
+            "--explore" => explore = true,
+            "--json" => json = true,
+            "--nodes" => cfg.nodes = num("--nodes")?,
+            "--slots" => cfg.slots_per_node = num("--slots")?,
+            "--fg-tasks" => cfg.fg_tasks = num("--fg-tasks")?,
+            "--bg-tasks" => cfg.bg_tasks = num("--bg-tasks")?,
+            "--crashes" => cfg.crash_budget = num("--crashes")?,
+            "--max-steps" => cfg.max_steps = num("--max-steps")? as usize,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown check flag {other}"));
+            }
+            _ if trace_path.is_none() => trace_path = Some(arg),
+            other => return Err(format!("unexpected extra argument {other}")),
+        }
+    }
+    if explore {
+        if trace_path.is_some() {
+            return Err("check --explore takes no trace file".to_owned());
+        }
+        let report = ssr_check::explore(&cfg);
+        if json {
+            print!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        if !report.is_clean() {
+            return Err(format!(
+                "{} invariant violation(s) found by exploration",
+                report.violations.len()
+            ));
+        }
+        return Ok(());
+    }
+    let path = trace_path.ok_or("check needs a trace file or --explore (see ssr-cli --help)")?;
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = ssr_explain::parse_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let report = ssr_check::InvariantChecker::new().check_all(&trace.events);
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        return Err(format!("{} invariant violation(s) in {path}", report.violations.len()));
     }
     Ok(())
 }

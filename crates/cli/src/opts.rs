@@ -5,7 +5,7 @@ use std::fmt;
 use ssr_cluster::{ClusterSpec, LocalityModel};
 use ssr_dag::Priority;
 use ssr_scheduler::SpeculationConfig;
-use ssr_sim::{OrderConfig, PolicyConfig};
+use ssr_sim::{FaultPlan, OrderConfig, PolicyConfig};
 use ssr_simcore::SimDuration;
 
 /// Error produced when command-line options cannot be parsed.
@@ -43,6 +43,9 @@ pub struct RunOptions {
     pub background: Vec<String>,
     /// Enable status-quo progress-based speculation.
     pub speculation: Option<SpeculationConfig>,
+    /// Deterministic fault schedule injected into the contended run
+    /// (run-alone baselines always run fault-free).
+    pub faults: FaultPlan,
     /// Emit the full report as JSON instead of tables.
     pub json: bool,
     /// Worker threads for the parallel trial runner (`None` = `SSR_JOBS`
@@ -79,6 +82,7 @@ impl RunOptions {
         let mut foreground = Vec::new();
         let mut background = Vec::new();
         let mut speculation = None;
+        let mut faults = FaultPlan::new();
         let mut json = false;
         let mut jobs = None;
         let mut trace = None;
@@ -143,6 +147,7 @@ impl RunOptions {
                 "--fg" => foreground.push(value("--fg")?),
                 "--bg" => background.push(value("--bg")?),
                 "--speculation" => speculation = Some(SpeculationConfig::spark_defaults()),
+                "--faults" => faults = FaultPlan::parse(&value("--faults")?).map_err(err)?,
                 "--json" => json = true,
                 "--jobs" => {
                     jobs = Some(
@@ -220,6 +225,7 @@ impl RunOptions {
             foreground,
             background,
             speculation,
+            faults,
             json,
             jobs,
             trace,
@@ -247,6 +253,7 @@ mod tests {
         assert_eq!(o.seed, 0);
         assert!(!o.json);
         assert!(o.speculation.is_none());
+        assert!(o.faults.is_empty());
         assert_eq!(o.jobs, None);
         assert_eq!(o.trace, None);
         assert_eq!(o.trace_alone, None);
@@ -325,6 +332,15 @@ mod tests {
         assert_eq!(o.seed, 42);
         assert!(o.json);
         assert!(o.speculation.is_some());
+    }
+
+    #[test]
+    fn faults_flag() {
+        let o = parse(&["--faults", "crash:node=0,at=30,down=10;revoke:slot=2,at=5"]).unwrap();
+        assert_eq!(o.faults.events().len(), 2);
+        assert!(parse(&["--faults"]).is_err(), "missing value");
+        let e = parse(&["--faults", "meteor:at=1"]).unwrap_err();
+        assert!(e.0.contains("unknown fault kind"), "{e}");
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub struct SlotPool {
     /// `(deadline, slot)` for every reservation with a bounded deadline.
     deadlines: BTreeSet<(SimTime, SlotId)>,
     running_count: usize,
+    /// Slots currently out of service (crashed node, revoked slot,
+    /// partitioned executor). Orthogonal to [`SlotState`]: an offline slot
+    /// may still be `Running` (network partition — the task survives), but
+    /// it never appears in the free indexes, so it receives no offers or
+    /// pre-reservation fills until [`SlotPool::bring_online`].
+    offline: Vec<bool>,
 }
 
 impl SlotPool {
@@ -114,6 +120,7 @@ impl SlotPool {
             running_by_job: BTreeMap::new(),
             deadlines: BTreeSet::new(),
             running_count: 0,
+            offline: vec![false; total],
         }
     }
 
@@ -122,6 +129,12 @@ impl SlotPool {
     // ------------------------------------------------------------------
 
     fn index_free(&mut self, slot: SlotId) {
+        // Offline slots never enter the free indexes, no matter which
+        // transition frees them (finish during a partition, release,
+        // expiry); `bring_online` re-indexes them when the fault heals.
+        if self.offline[slot.index()] {
+            return;
+        }
         self.free.insert(slot);
         self.free_by_node[self.node_of[slot.index()].as_u32() as usize].insert(slot);
         self.free_by_rack[self.rack_of[slot.index()].as_u32() as usize].insert(slot);
@@ -312,9 +325,60 @@ impl SlotPool {
         freed
     }
 
+    /// Takes `slot` out of service (fault injection). Idempotent.
+    ///
+    /// A free slot leaves the free indexes; a reserved slot's reservation
+    /// is forcibly dropped (returned so the caller can trace the
+    /// revocation); a running slot keeps its task — the caller decides
+    /// whether the fault kills it (`finish` first) or lets it survive a
+    /// partition (the slot then frees without re-entering the indexes).
+    pub fn take_offline(&mut self, slot: SlotId) -> Option<Reservation> {
+        if self.offline[slot.index()] {
+            return None;
+        }
+        self.offline[slot.index()] = true;
+        match self.states[slot.index()] {
+            SlotState::Running(_) => None,
+            SlotState::Free => {
+                self.unindex_free(slot);
+                None
+            }
+            SlotState::Reserved(r) => {
+                self.unindex_reservation(slot, &r);
+                self.states[slot.index()] = SlotState::Free;
+                Some(r)
+            }
+        }
+    }
+
+    /// Returns `slot` to service after a fault heals. Idempotent; returns
+    /// `true` when the slot was actually offline. A freed slot rejoins the
+    /// free indexes immediately; a still-running slot (partition survivor)
+    /// rejoins when its task finishes.
+    pub fn bring_online(&mut self, slot: SlotId) -> bool {
+        if !self.offline[slot.index()] {
+            return false;
+        }
+        self.offline[slot.index()] = false;
+        if matches!(self.states[slot.index()], SlotState::Free) {
+            self.index_free(slot);
+        }
+        true
+    }
+
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
+
+    /// `true` when `slot` is out of service.
+    pub fn is_offline(&self, slot: SlotId) -> bool {
+        self.offline[slot.index()]
+    }
+
+    /// Number of slots currently out of service — O(slots).
+    pub fn offline_count(&self) -> usize {
+        self.offline.iter().filter(|&&o| o).count()
+    }
 
     /// The resource size of `slot` (§III-C heterogeneous clusters; 1 in a
     /// homogeneous one).
@@ -583,6 +647,59 @@ mod tests {
         p.release_job_reservations(j1);
         assert!(!p.has_reservations(j1));
         assert_eq!(p.reservation_groups().collect::<Vec<_>>(), vec![(j2, Priority::new(9), 1)]);
+    }
+
+    #[test]
+    fn offline_slots_leave_and_rejoin_the_free_indexes() {
+        let mut p = pool(2, 2);
+        let s = SlotId::new(1);
+        // Free slot: vanishes from every index and from counts.
+        assert_eq!(p.take_offline(s), None);
+        assert!(p.is_offline(s));
+        assert_eq!(p.offline_count(), 1);
+        assert_eq!(p.counts(), (3, 0, 0));
+        assert!(!p.free_slots().any(|f| f == s));
+        assert!(!p.free_on_node(NodeId::new(0)).any(|f| f == s));
+        // Idempotent.
+        assert_eq!(p.take_offline(s), None);
+        assert!(p.bring_online(s));
+        assert!(!p.bring_online(s));
+        assert_eq!(p.counts(), (4, 0, 0));
+        assert!(p.free_on_node(NodeId::new(0)).any(|f| f == s));
+    }
+
+    #[test]
+    fn offline_reserved_slot_returns_its_reservation() {
+        let mut p = pool(1, 2);
+        let s = SlotId::new(0);
+        let r = Reservation::new(JobId::new(7), Priority::new(3))
+            .with_deadline(SimTime::from_secs(10));
+        p.reserve(s, r).unwrap();
+        let revoked = p.take_offline(s).expect("reservation handed back");
+        assert_eq!(revoked.job(), JobId::new(7));
+        assert_eq!(p.counts(), (1, 0, 0));
+        assert_eq!(p.next_deadline(), None);
+        assert!(!p.has_reservations(JobId::new(7)));
+        // Expiry at the old deadline is a no-op: the index entry is gone.
+        assert!(p.expire_reservations(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn offline_running_slot_survives_and_frees_out_of_service() {
+        let mut p = pool(1, 2);
+        let s = SlotId::new(0);
+        p.assign(s, task(1, 0)).unwrap();
+        // Partition: the task keeps running on the unreachable node.
+        assert_eq!(p.take_offline(s), None);
+        assert_eq!(p.counts(), (1, 1, 0));
+        assert_eq!(p.running_for(JobId::new(1)), 1);
+        // It finishes mid-partition: the slot frees but stays invisible.
+        assert_eq!(p.finish(s).unwrap(), task(1, 0));
+        assert_eq!(p.counts(), (1, 0, 0));
+        assert!(!p.free_slots().any(|f| f == s));
+        // Healing the partition restores it.
+        assert!(p.bring_online(s));
+        assert_eq!(p.counts(), (2, 0, 0));
     }
 
     #[test]

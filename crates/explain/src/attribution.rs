@@ -15,6 +15,9 @@
 //! - **locality-wait** — delay scheduling holding out for better placement;
 //! - **ramp-up** — no fitting slot at all (the cluster was saturated, e.g.
 //!   while a wave of background tasks drains);
+//! - **fault-recovery** — stalls induced by injected faults: time after a
+//!   crash/revocation hit the job, and saturated-cluster waits while slots
+//!   are out of service (those would otherwise be misread as ramp-up);
 //! - **speculation** — extra runtime of the job's own speculative copies
 //!   that lost their race (wasted duplicate work);
 //! - **residual** — everything the deficit model cannot see (slower task
@@ -69,6 +72,10 @@ pub struct BlockedProfile {
     pub locality_secs: f64,
     /// Deficit seconds attributed to `no-fitting-slot` declines.
     pub rampup_secs: f64,
+    /// Deficit seconds attributed to fault recovery: accrued after a
+    /// crash/revocation struck the job, or under `no-fitting-slot`
+    /// declines while slots were offline.
+    pub fault_recovery_secs: f64,
     /// Deficit seconds with no decline explaining them (folded into the
     /// residual, never into a named cause).
     pub unattributed_secs: f64,
@@ -98,6 +105,8 @@ pub struct Attribution {
     pub locality_secs: f64,
     /// Saturated-cluster waits (contention-added).
     pub rampup_secs: f64,
+    /// Fault-induced stalls (contention-added; zero without a fault plan).
+    pub fault_recovery_secs: f64,
     /// Lost speculative-copy runtime (contention-added).
     pub speculation_secs: f64,
     /// The unexplained remainder, `gap − Σ` of the four causes above.
@@ -111,6 +120,7 @@ impl Attribution {
         self.reservation_denied_secs
             + self.locality_secs
             + self.rampup_secs
+            + self.fault_recovery_secs
             + self.speculation_secs
             + self.residual_secs
     }
@@ -169,9 +179,14 @@ pub fn attribute(
     let reservation_denied_secs = delta(c.reservation_denied_secs, a.reservation_denied_secs);
     let locality_secs = delta(c.locality_secs, a.locality_secs);
     let rampup_secs = delta(c.rampup_secs, a.rampup_secs);
+    let fault_recovery_secs = delta(c.fault_recovery_secs, a.fault_recovery_secs);
     let speculation_secs = delta(c.speculation_wasted_secs, a.speculation_wasted_secs);
-    let residual_secs =
-        gap_secs - (reservation_denied_secs + locality_secs + rampup_secs + speculation_secs);
+    let residual_secs = gap_secs
+        - (reservation_denied_secs
+            + locality_secs
+            + rampup_secs
+            + fault_recovery_secs
+            + speculation_secs);
     Ok(Attribution {
         job: name.to_owned(),
         alone_jct_secs: a.jct_secs,
@@ -180,6 +195,7 @@ pub fn attribute(
         reservation_denied_secs,
         locality_secs,
         rampup_secs,
+        fault_recovery_secs,
         speculation_secs,
         residual_secs,
     })
@@ -191,6 +207,7 @@ enum Cause {
     ReservationDenied,
     Locality,
     Rampup,
+    FaultRecovery,
     Unattributed,
 }
 
@@ -223,6 +240,8 @@ struct Sweep {
     running: usize,
     /// Open speculative copies: slot → launch time.
     copies: Vec<(u32, SimTime)>,
+    /// Cluster-wide out-of-service slot count (from slot-offline/online).
+    offline: usize,
     /// End of the last integrated interval; set at `job-submitted`.
     last: Option<SimTime>,
     cause: Cause,
@@ -240,6 +259,7 @@ impl Sweep {
             runnable: Vec::new(),
             running: 0,
             copies: Vec::new(),
+            offline: 0,
             last: None,
             cause: Cause::Unattributed,
             profile: BlockedProfile::default(),
@@ -280,6 +300,7 @@ impl Sweep {
             Cause::ReservationDenied => &mut self.profile.reservation_denied_secs,
             Cause::Locality => &mut self.profile.locality_secs,
             Cause::Rampup => &mut self.profile.rampup_secs,
+            Cause::FaultRecovery => &mut self.profile.fault_recovery_secs,
             Cause::Unattributed => &mut self.profile.unattributed_secs,
         }
     }
@@ -325,9 +346,15 @@ impl Sweep {
                 K::OfferDeclined { job, reason, .. } if *job == self.job => {
                     // Cause boundary: deficit accrued since the last event
                     // belongs to the previous cause; what follows is
-                    // explained by this decline.
+                    // explained by this decline. A saturated cluster with
+                    // slots out of service is a fault symptom, not ramp-up.
                     self.advance(t);
-                    self.cause = Cause::of(*reason);
+                    self.cause =
+                        if *reason == DenyReason::NoFittingSlot && self.offline > 0 {
+                            Cause::FaultRecovery
+                        } else {
+                            Cause::of(*reason)
+                        };
                 }
                 K::TaskLaunched { job, stage, speculative, slot, .. } if *job == self.job => {
                     self.advance(t);
@@ -356,6 +383,30 @@ impl Sweep {
                 K::JobCompleted { job } if *job == self.job => {
                     self.advance(t);
                     self.completed = Some(t);
+                }
+                K::TaskCrashed { job, slot, stage, requeued, .. } if *job == self.job => {
+                    self.advance(t);
+                    self.running = self.running.saturating_sub(1);
+                    // A crashed copy is fault loss, not speculation waste.
+                    self.copies.retain(|(s, _)| s != slot);
+                    if *requeued {
+                        if let Some(idx) = self.stage_idx(*stage) {
+                            self.pending[idx] += 1;
+                        }
+                    }
+                    self.cause = Cause::FaultRecovery;
+                }
+                K::ReservationRevoked { job, .. } if *job == self.job => {
+                    // The job's held slot was taken out of service: the
+                    // stall that follows is fault-induced.
+                    self.advance(t);
+                    self.cause = Cause::FaultRecovery;
+                }
+                K::SlotOffline { .. } => {
+                    self.offline += 1;
+                }
+                K::SlotOnline { .. } => {
+                    self.offline = self.offline.saturating_sub(1);
                 }
                 _ => {}
             }
@@ -527,6 +578,38 @@ mod tests {
         let p = blocked_profile(&tr, "fg").unwrap();
         assert!((p.unattributed_secs - 2.0).abs() < 1e-9, "{p:?}");
         assert!((p.reservation_denied_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_recovery_claims_crash_induced_stalls() {
+        // Runs 0..2, crashes at 2 (requeued); blocked 2..5 while the slot
+        // is offline — a no-fitting-slot decline mid-window must stay in
+        // the fault bucket, not ramp-up; relaunches 5..7.
+        let tr = trace(vec![
+            submitted(0, "fg", 1),
+            launched(0.0, 0, 0, false),
+            TraceEvent::new(
+                t(2.0),
+                TraceEventKind::TaskCrashed {
+                    slot: 0,
+                    job: JobId::new(0),
+                    stage: StageId::new(0),
+                    partition: 0,
+                    attempt: 0,
+                    requeued: true,
+                },
+            ),
+            TraceEvent::new(t(2.0), TraceEventKind::SlotOffline { slot: 0, cause: "crash" }),
+            declined(3.0, 0, DenyReason::NoFittingSlot),
+            TraceEvent::new(t(5.0), TraceEventKind::SlotOnline { slot: 0 }),
+            launched(5.0, 0, 0, false),
+            finished(7.0, 0, 0),
+            completed(7.0, 0),
+        ]);
+        let p = blocked_profile(&tr, "fg").unwrap();
+        assert!((p.fault_recovery_secs - 3.0).abs() < 1e-9, "{p:?}");
+        assert!((p.rampup_secs).abs() < 1e-9, "{p:?}");
+        assert!((p.unattributed_secs).abs() < 1e-9, "{p:?}");
     }
 
     #[test]

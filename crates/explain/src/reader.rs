@@ -8,10 +8,13 @@
 //! timestamp for timestamp — which is pinned by tests against
 //! [`ssr_trace::VecSink`].
 //!
-//! The reader accepts schema v1 and v2 documents. v1 traces lack the
+//! The reader accepts schema v1 through v3 documents. v1 traces lack the
 //! per-stage DAG metadata on `job-submitted` and the blocked `stage` on
 //! `offer-declined`; those fields read back as empty/`None` and downstream
 //! analyses degrade gracefully (no critical path, coarser attribution).
+//! v3 adds the four fault-lifecycle events (`task-crashed`,
+//! `reservation-revoked`, `slot-offline`, `slot-online`); older traces
+//! simply contain none of them.
 
 use std::fmt;
 
@@ -24,7 +27,7 @@ use ssr_trace::{DenyReason, StageMeta, TraceEvent, TraceEventKind, SCHEMA_VERSIO
 ///
 /// Kept in sync with [`TraceEventKind::name`] by the round-trip test, which
 /// matches exhaustively over the enum on both the write and read side.
-pub const ALL_EVENT_NAMES: [&str; 16] = [
+pub const ALL_EVENT_NAMES: [&str; 20] = [
     "job-submitted",
     "offer-round-started",
     "offer-round-ended",
@@ -41,6 +44,10 @@ pub const ALL_EVENT_NAMES: [&str; 16] = [
     "stage-completed",
     "job-completed",
     "locality-unlocked",
+    "task-crashed",
+    "reservation-revoked",
+    "slot-offline",
+    "slot-online",
 ];
 
 /// A parsed trace document: the schema version from the header plus the
@@ -332,6 +339,18 @@ fn level_static(lineno: usize, level: &str) -> Result<&'static str, ReadError> {
     }
 }
 
+/// Maps a `slot-offline` cause string back to the engine's static
+/// identifier.
+fn offline_cause(lineno: usize, cause: &str) -> Result<&'static str, ReadError> {
+    match cause {
+        "crash" => Ok("crash"),
+        "revocation" => Ok("revocation"),
+        "partition" => Ok("partition"),
+        "restart" => Ok("restart"),
+        other => Err(ReadError::new(lineno, format!("unknown offline cause {other:?}"))),
+    }
+}
+
 /// Maps a deny reason string back to [`DenyReason`].
 fn deny_reason(lineno: usize, reason: &str) -> Result<DenyReason, ReadError> {
     match reason {
@@ -417,6 +436,20 @@ fn parse_kind(lineno: usize, event: &str, f: Fields<'_>) -> Result<TraceEventKin
         "stage-completed" => K::StageCompleted { job: f.job()?, stage: f.stage()? },
         "job-completed" => K::JobCompleted { job: f.job()? },
         "locality-unlocked" => K::LocalityUnlocked,
+        "task-crashed" => K::TaskCrashed {
+            slot: f.u32("slot")?,
+            job: f.job()?,
+            stage: f.stage()?,
+            partition: f.u32("partition")?,
+            attempt: f.u32("attempt")?,
+            requeued: f.bool("requeued")?,
+        },
+        "reservation-revoked" => K::ReservationRevoked { slot: f.u32("slot")?, job: f.job()? },
+        "slot-offline" => K::SlotOffline {
+            slot: f.u32("slot")?,
+            cause: offline_cause(lineno, f.string("cause")?)?,
+        },
+        "slot-online" => K::SlotOnline { slot: f.u32("slot")? },
         "trace-start" => {
             return Err(ReadError::new(lineno, "trace-start may only appear as the first line"))
         }

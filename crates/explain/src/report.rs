@@ -137,6 +137,7 @@ impl Report {
                 out.push_str(&format!("  reservation-denied {:>9.3}s\n", a.reservation_denied_secs));
                 out.push_str(&format!("  locality-wait      {:>9.3}s\n", a.locality_secs));
                 out.push_str(&format!("  ramp-up            {:>9.3}s\n", a.rampup_secs));
+                out.push_str(&format!("  fault-recovery     {:>9.3}s\n", a.fault_recovery_secs));
                 out.push_str(&format!("  speculation        {:>9.3}s\n", a.speculation_secs));
                 out.push_str(&format!("  residual           {:>9.3}s\n", a.residual_secs));
                 out.push_str(&format!(
@@ -172,6 +173,7 @@ impl Report {
                     obj(vec![
                         ("alone_jct_secs", Value::Float(a.alone_jct_secs)),
                         ("contended_jct_secs", Value::Float(a.contended_jct_secs)),
+                        ("fault_recovery_secs", Value::Float(a.fault_recovery_secs)),
                         ("gap_secs", Value::Float(a.gap_secs)),
                         ("job", Value::Str(a.job.clone())),
                         ("locality_secs", Value::Float(a.locality_secs)),

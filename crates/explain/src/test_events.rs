@@ -31,6 +31,10 @@ pub(crate) fn assert_covers_schema(kind: &TraceEventKind) -> &'static str {
         K::StageCompleted { .. } => "stage-completed",
         K::JobCompleted { .. } => "job-completed",
         K::LocalityUnlocked => "locality-unlocked",
+        K::TaskCrashed { .. } => "task-crashed",
+        K::ReservationRevoked { .. } => "reservation-revoked",
+        K::SlotOffline { .. } => "slot-offline",
+        K::SlotOnline { .. } => "slot-online",
     }
 }
 
@@ -111,6 +115,20 @@ pub(crate) fn one_of_each() -> Vec<TraceEvent> {
             },
         ),
         at(2.0, TraceEventKind::LocalityUnlocked),
+        at(
+            2.25,
+            TraceEventKind::TaskCrashed {
+                slot: 1,
+                job,
+                stage: stage0,
+                partition: 0,
+                attempt: 0,
+                requeued: true,
+            },
+        ),
+        at(2.25, TraceEventKind::ReservationRevoked { slot: 2, job }),
+        at(2.25, TraceEventKind::SlotOffline { slot: 1, cause: "crash" }),
+        at(2.4, TraceEventKind::SlotOnline { slot: 1 }),
         at(2.5, TraceEventKind::ReservationExpired { slot: 0, job }),
         at(3.0, TraceEventKind::StageCompleted { job, stage: stage0 }),
         at(3.0, TraceEventKind::BarrierCleared { job, stage: stage1 }),

@@ -507,7 +507,20 @@ impl Builder {
                         j.completed = Some(t);
                     }
                 }
-                K::OfferRoundEnded { .. } | K::OfferDeclined { .. } | K::LocalityUnlocked => {}
+                // A crash closes the victim's run; a revocation closes the
+                // reservation. The paired slot-offline event then leaves the
+                // slot rendered Free (out-of-service shading is a job-level
+                // concern the attribution layer handles).
+                K::TaskCrashed { slot, .. } | K::ReservationRevoked { slot, .. } => {
+                    self.free_slot(*slot as usize, t);
+                }
+                K::SlotOffline { slot, .. } => {
+                    self.free_slot(*slot as usize, t);
+                }
+                K::OfferRoundEnded { .. }
+                | K::OfferDeclined { .. }
+                | K::LocalityUnlocked
+                | K::SlotOnline { .. } => {}
             }
         }
         // Close instances and reservations still open at the horizon

@@ -17,8 +17,10 @@ use crate::report::Diagnostic;
 /// Crates whose code is on the deterministic replay path: anything that
 /// executes between seed and report must be a pure function of its
 /// inputs. D001 applies only here.
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["cluster", "core", "dag", "explain", "scheduler", "sim", "simcore", "trace", "workload"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "check", "cluster", "core", "dag", "explain", "faults", "scheduler", "sim", "simcore",
+    "trace", "workload",
+];
 
 /// The only files allowed to read the wall clock (D002). Timing flows
 /// through `ssr_sim::walltime` so stderr `--timing` output can never

@@ -74,6 +74,16 @@ pub struct FinishOutcome {
     pub job_completed: bool,
 }
 
+/// The result of failing a set of slots (fault injection).
+#[derive(Debug, Clone, Default)]
+pub struct FailureOutcome {
+    /// Slots whose running instances were killed by the fault — the
+    /// simulator must cancel their pending finish events.
+    pub killed: Vec<SlotId>,
+    /// Slots whose reservations were forcibly revoked.
+    pub revoked: Vec<SlotId>,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PendingPrereserve {
     target: u32,
@@ -586,10 +596,17 @@ impl TaskScheduler {
                 LocalityLevel::ProcessLocal if preferred.is_empty() => {
                     self.min_free_fitting(self.slots.free_slots(), demand)
                 }
+                // Reads raw slot state, not the free lists, so the
+                // out-of-service guard the indexes apply must be repeated
+                // here: a crashed slot is Free but must never be offered.
                 LocalityLevel::ProcessLocal => preferred
                     .iter()
                     .copied()
-                    .filter(|&s| self.slots.get(s).is_free() && self.slots.size(s) >= demand)
+                    .filter(|&s| {
+                        !self.slots.is_offline(s)
+                            && self.slots.get(s).is_free()
+                            && self.slots.size(s) >= demand
+                    })
                     .min(),
                 LocalityLevel::NodeLocal => tsm
                     .pref_nodes()
@@ -937,6 +954,12 @@ impl TaskScheduler {
             // Algorithm 1 HandleTaskCompletion: the policy decides the fate
             // of the winner's slot and of every killed copy's slot.
             for s in std::iter::once(slot).chain(killed.iter().copied()) {
+                // A slot that went offline mid-run (a partition survivor
+                // finishing out of service) cannot be handed back to the
+                // policy: it takes no reservation until it heals.
+                if self.slots.is_offline(s) {
+                    continue;
+                }
                 let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
                 match self.policy.on_task_completed(&ctx, task, s) {
                     SlotDisposition::Release => {}
@@ -1080,6 +1103,89 @@ impl TaskScheduler {
             self.emit(now, TraceEventKind::ReservationExpired { slot: slot.as_u32(), job });
         }
         freed
+    }
+
+    /// Takes `failed` slots out of service at `now` (fault injection).
+    ///
+    /// For each slot not already offline, in order: with `kill_running`,
+    /// any running instance is killed (`task-crashed`) and its partition
+    /// re-queued unless a sibling copy survives; an idle reservation is
+    /// forcibly revoked (`reservation-revoked`); finally the slot leaves
+    /// the pool (`slot-offline`) and stops receiving offers and
+    /// pre-reservation fills until [`restore_slots`]. Without
+    /// `kill_running` (network partition) running instances survive and
+    /// may finish out of service. The caller must cancel pending finish
+    /// events for every returned `killed` slot.
+    ///
+    /// [`restore_slots`]: TaskScheduler::restore_slots
+    pub fn fail_slots(
+        &mut self,
+        failed: &[SlotId],
+        now: SimTime,
+        kill_running: bool,
+        cause: &'static str,
+    ) -> FailureOutcome {
+        let mut outcome = FailureOutcome::default();
+        for &slot in failed {
+            if self.slots.is_offline(slot) {
+                continue;
+            }
+            if kill_running {
+                if let Some(ri) = self.running.remove(&slot) {
+                    let task = ri.instance.task;
+                    self.slots.finish(slot).expect("tracked instance is running");
+                    self.dec_running(task.job);
+                    let requeued = self
+                        .jobs
+                        .get_mut(task.job)
+                        .expect("job exists")
+                        .taskset_mut(task.stage)
+                        .expect("stage has a task set")
+                        .instance_crashed(ri.instance);
+                    // Pending sets and running counts changed: the cached
+                    // job snapshots are stale.
+                    self.snapshots_dirty = true;
+                    if self.trace.is_some() {
+                        self.emit(
+                            now,
+                            TraceEventKind::TaskCrashed {
+                                slot: slot.as_u32(),
+                                job: task.job,
+                                stage: task.stage,
+                                partition: task.partition,
+                                attempt: ri.instance.attempt,
+                                requeued,
+                            },
+                        );
+                    }
+                    outcome.killed.push(slot);
+                }
+            }
+            if let Some(r) = self.slots.take_offline(slot) {
+                outcome.revoked.push(slot);
+                if self.trace.is_some() {
+                    self.emit(
+                        now,
+                        TraceEventKind::ReservationRevoked { slot: slot.as_u32(), job: r.job() },
+                    );
+                }
+            }
+            if self.trace.is_some() {
+                self.emit(now, TraceEventKind::SlotOffline { slot: slot.as_u32(), cause });
+            }
+        }
+        outcome
+    }
+
+    /// Returns `restored` slots to service after a fault heals; freed slots
+    /// rejoin the offer pool immediately, partition survivors when their
+    /// task finishes. Slots that were never offline are skipped.
+    pub fn restore_slots(&mut self, restored: &[SlotId], now: SimTime) {
+        for &slot in restored {
+            if self.slots.bring_online(slot) && self.trace.is_some() {
+                self.emit(now, TraceEventKind::SlotOnline { slot: slot.as_u32() });
+            }
+        }
     }
 
     /// Reports a delay-scheduling unlock wakeup to the trace. Called by the
@@ -1762,5 +1868,36 @@ mod tests {
             log
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crashed_slot_is_never_offered_to_its_preferring_stage() {
+        // Regression (found by the ssr-check explorer on its smallest
+        // config): after [Offer, Finish, Finish, Crash(node 0), Offer]
+        // the downstream stage launched on the slot its upstream ran on
+        // even though that slot's node had crashed. The preferred-slot
+        // fast path read the raw slot state — Free once the crash revoked
+        // its reservation — instead of the offline-guarded free indexes.
+        let mut s = scheduler(2, 1);
+        let fg = s.submit(two_stage_job("fg", 1, 10), SimTime::ZERO);
+        let a = s.resource_offers(SimTime::ZERO);
+        assert_eq!(a.len(), 1);
+        let up_slot = a[0].slot;
+        let o = s.task_finished(up_slot, SimTime::from_secs(1));
+        assert!(o.stage_completed);
+        // The node hosting the upstream output crashes before the next
+        // offer round; its slot is Free but out of service.
+        s.fail_slots(&[up_slot], SimTime::from_secs(2), true, "crash");
+        let b = s.resource_offers(SimTime::from_secs(2));
+        assert_eq!(b.len(), 1, "downstream still launches on the surviving node");
+        assert_ne!(b[0].slot, up_slot, "an out-of-service slot must not be offered");
+        assert_eq!(s.running_count_for(fg), 1);
+        s.task_finished(b[0].slot, SimTime::from_secs(3));
+        assert!(s.jobs().get(fg).unwrap().is_complete());
+        // Once the node rejoins, the slot takes offers again.
+        s.restore_slots(&[up_slot], SimTime::from_secs(3));
+        s.submit(one_stage_job("bg", 1, 0), SimTime::from_secs(3));
+        let c = s.resource_offers(SimTime::from_secs(3));
+        assert_eq!(c.len(), 1);
     }
 }

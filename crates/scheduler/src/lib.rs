@@ -36,7 +36,7 @@ pub mod policy;
 pub mod speculation;
 pub mod taskset;
 
-pub use engine::{Assignment, FinishOutcome, TaskScheduler};
+pub use engine::{Assignment, FailureOutcome, FinishOutcome, TaskScheduler};
 pub use jobs::{JobState, Jobs, StageStats};
 pub use order::{Fair, Fifo, FifoPriority, JobOrder, JobSnapshot};
 pub use policy::{

@@ -281,6 +281,28 @@ impl TaskSetManager {
         InstanceOutcome { first_finish, losers }
     }
 
+    /// Removes `instance` after its slot was lost to a fault. If the
+    /// partition has not finished and this was its last live instance, the
+    /// partition goes back onto the pending queue for relaunch (attempt
+    /// numbers keep increasing, so a late finish of the lost instance can
+    /// never be confused with the relaunch). Returns `true` when the
+    /// partition was re-queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is not currently running in this set.
+    pub fn instance_crashed(&mut self, instance: TaskInstance) -> bool {
+        self.instance_killed(instance);
+        let partition = instance.task.partition;
+        let p = &self.partitions[partition as usize];
+        if !p.finished && p.running.is_empty() {
+            self.pending.push(partition);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Removes `instance` from the running set without finishing its
     /// partition (the instance was killed).
     ///
@@ -377,6 +399,46 @@ mod tests {
         let outcome = t.instance_finished(original);
         assert!(outcome.first_finish);
         assert!(outcome.losers.is_empty());
+    }
+
+    #[test]
+    fn crashed_sole_instance_requeues_its_partition() {
+        let mut t = tsm(2);
+        let a = t.launch_next(SlotId::new(0)).unwrap();
+        let _b = t.launch_next(SlotId::new(1)).unwrap();
+        assert!(!t.has_pending());
+        assert!(t.instance_crashed(a), "last live instance re-queues");
+        assert_eq!(t.pending_count(), 1);
+        assert!(!t.is_complete());
+        // The relaunch is a fresh attempt of the same partition.
+        let retry = t.launch_next(SlotId::new(2)).expect("re-queued partition");
+        assert_eq!(retry.task.partition, 0);
+        assert_eq!(retry.attempt, 1);
+    }
+
+    #[test]
+    fn crashed_instance_with_live_copy_does_not_requeue() {
+        let mut t = tsm(1);
+        let original = t.launch_next(SlotId::new(0)).unwrap();
+        let copy = t.launch_copy(0, SlotId::new(1));
+        assert!(!t.instance_crashed(original), "copy still racing");
+        assert!(!t.has_pending());
+        let outcome = t.instance_finished(copy);
+        assert!(outcome.first_finish);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn crashed_copy_leaves_original_racing() {
+        let mut t = tsm(1);
+        let original = t.launch_next(SlotId::new(0)).unwrap();
+        let copy = t.launch_copy(0, SlotId::new(1));
+        assert!(!t.instance_crashed(copy), "original still running");
+        assert!(!t.has_pending());
+        let outcome = t.instance_finished(original);
+        assert!(outcome.first_finish);
+        assert!(outcome.losers.is_empty());
+        assert!(t.is_complete());
     }
 
     #[test]

@@ -255,10 +255,12 @@ impl Experiment {
     }
 
     /// Runs one foreground job alone (work-conserving — reservations are
-    /// irrelevant without contention) and returns the full report.
+    /// irrelevant without contention, and any injected fault plan is
+    /// stripped: the baseline measures the undisturbed job) and returns
+    /// the full report.
     fn alone_report(&self, job: &JobSpec) -> SimReport {
         Simulation::new(
-            self.sim_config.clone(),
+            self.sim_config.clone().without_faults(),
             PolicyConfig::WorkConserving,
             self.order,
             vec![job.clone()],
@@ -270,7 +272,7 @@ impl Experiment {
     /// sink attached, returning the report and the rendered trace.
     fn alone_report_traced(&self, job: &JobSpec) -> (SimReport, String) {
         let (report, sink) = Simulation::new(
-            self.sim_config.clone(),
+            self.sim_config.clone().without_faults(),
             PolicyConfig::WorkConserving,
             self.order,
             vec![job.clone()],
@@ -539,7 +541,7 @@ mod tests {
         assert_eq!(alone.len(), 1);
         assert_eq!(alone[0].job, "fg");
         assert!(alone[0].jsonl.starts_with(
-            r#"{"event":"trace-start","fields":{"schema_version":2}"#
+            r#"{"event":"trace-start","fields":{"schema_version":3}"#
         ));
         assert!(alone[0].jsonl.contains(r#""event":"job-completed""#));
     }

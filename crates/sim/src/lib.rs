@@ -46,3 +46,4 @@ pub use experiment::{Experiment, ExperimentOutcome, OrderConfig, PolicyConfig, S
 pub use report::{JobResult, SimReport, TaskTraceRecord, TimeSample};
 pub use runner::{par_map, worker_count, GridStats, Trial, TrialGrid, TrialResult};
 pub use simulation::{SimConfig, Simulation};
+pub use ssr_faults::{FaultEvent, FaultKind, FaultPlan};

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use ssr_cluster::{ClusterSpec, LocalityLevel, LocalityModel, SlotId};
 use ssr_dag::{JobId, JobSpec};
+use ssr_faults::{FaultKind, FaultPlan};
 use ssr_scheduler::TaskScheduler;
 use ssr_simcore::events::EventQueue;
 use ssr_simcore::rng::SimRng;
@@ -23,6 +24,7 @@ pub struct SimConfig {
     speculation: Option<ssr_scheduler::SpeculationConfig>,
     record_trace: bool,
     stop_after: Vec<String>,
+    faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -38,7 +40,28 @@ impl SimConfig {
             speculation: None,
             record_trace: false,
             stop_after: Vec::new(),
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Injects a deterministic fault schedule (see [`FaultPlan`]). The
+    /// default plan is empty; an empty plan adds no events and leaves the
+    /// run byte-identical to a fault-free build.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Drops any injected fault schedule — used for alone-baseline runs,
+    /// which measure the undisturbed job.
+    pub fn without_faults(mut self) -> Self {
+        self.faults = FaultPlan::default();
+        self
+    }
+
+    /// The injected fault schedule.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Stops the run as soon as every job with one of the given names has
@@ -112,6 +135,10 @@ enum Event {
     TaskFinish { slot: SlotId, token: u64 },
     ReservationExpiry,
     LocalityUnlock,
+    /// A scheduled fault strikes (index into the plan's event list).
+    Fault(usize),
+    /// A bounded fault heals (node rejoin, partition end).
+    FaultHeal(usize),
 }
 
 /// One end-to-end simulated run: jobs arrive, tasks execute with locality
@@ -137,6 +164,11 @@ pub struct Simulation {
     open_trace: Vec<Option<OpenTrace>>,
     stop_names: Vec<String>,
     stop_pending: usize,
+    faults: FaultPlan,
+    storm_until: SimTime,
+    storm_factor: f64,
+    cold_until: Vec<SimTime>,
+    cold_factor: Vec<f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -175,6 +207,12 @@ impl Simulation {
         for (i, job) in jobs.iter().enumerate() {
             events.push(job.arrival(), Event::JobArrival(i));
         }
+        // Fault strikes are scheduled up front, after the arrivals: an
+        // empty plan pushes nothing, so the event sequence numbering (and
+        // therefore every tie-break) is identical to a fault-free run.
+        for (i, f) in config.faults.events().iter().enumerate() {
+            events.push(f.at, Event::Fault(i));
+        }
         let stop_pending = jobs
             .iter()
             .filter(|j| config.stop_after.iter().any(|n| n == j.name()))
@@ -198,6 +236,11 @@ impl Simulation {
             open_trace: vec![None; total_slots],
             stop_pending,
             stop_names: config.stop_after,
+            faults: config.faults,
+            storm_until: SimTime::ZERO,
+            storm_factor: 1.0,
+            cold_until: vec![SimTime::ZERO; total_slots],
+            cold_factor: vec![1.0; total_slots],
         }
     }
 
@@ -269,6 +312,8 @@ impl Simulation {
                     self.scheduled_unlock = None;
                     self.sched.trace_locality_unlock(t);
                 }
+                Event::Fault(index) => self.apply_fault(index, t),
+                Event::FaultHeal(index) => self.heal_fault(index, t),
             }
             self.dispatch();
             self.sample_timeseries();
@@ -279,6 +324,80 @@ impl Simulation {
                 break;
             }
         }
+    }
+
+    /// Applies one scheduled [`FaultEvent`](ssr_faults::FaultEvent) and,
+    /// for bounded faults, schedules the matching heal.
+    fn apply_fault(&mut self, index: usize, t: SimTime) {
+        let kind = self.faults.events()[index].kind.clone();
+        match kind {
+            FaultKind::NodeCrash { node, down } => {
+                let slots = self.node_slots(node);
+                self.kill_and_offline(&slots, t, "crash");
+                if let Some(d) = down {
+                    self.events.push(t + d, Event::FaultHeal(index));
+                }
+            }
+            FaultKind::SlotRevocation { slot } => {
+                self.kill_and_offline(&[SlotId::new(slot)], t, "revocation");
+            }
+            FaultKind::NetworkPartition { node, secs } => {
+                // Running tasks survive the partition and may finish out of
+                // service; only the master-side reservations are revoked.
+                let slots = self.node_slots(node);
+                self.sched.fail_slots(&slots, t, false, "partition");
+                self.events.push(t + secs, Event::FaultHeal(index));
+            }
+            FaultKind::StragglerStorm { factor, secs } => {
+                self.storm_until = self.storm_until.max(t + secs);
+                self.storm_factor = factor;
+            }
+            FaultKind::ExecutorRestart { node, down, .. } => {
+                let slots = self.node_slots(node);
+                self.kill_and_offline(&slots, t, "restart");
+                self.events.push(t + down, Event::FaultHeal(index));
+            }
+        }
+    }
+
+    /// Heals a bounded fault: the slots rejoin the pool (executor restarts
+    /// additionally run cold for the configured ramp-up window).
+    fn heal_fault(&mut self, index: usize, t: SimTime) {
+        let kind = self.faults.events()[index].kind.clone();
+        match kind {
+            FaultKind::NodeCrash { node, .. } | FaultKind::NetworkPartition { node, .. } => {
+                let slots = self.node_slots(node);
+                self.sched.restore_slots(&slots, t);
+            }
+            FaultKind::ExecutorRestart { node, rampup, cold_factor, .. } => {
+                let slots = self.node_slots(node);
+                self.sched.restore_slots(&slots, t);
+                for slot in slots {
+                    self.cold_until[slot.index()] = t + rampup;
+                    self.cold_factor[slot.index()] = cold_factor;
+                }
+            }
+            FaultKind::SlotRevocation { .. } | FaultKind::StragglerStorm { .. } => {}
+        }
+    }
+
+    /// Takes `slots` out of service, killing whatever runs on them: the
+    /// scheduler requeues the work, and the pending finish events are
+    /// cancelled through the slot-token generation bump.
+    fn kill_and_offline(&mut self, slots: &[SlotId], t: SimTime, cause: &'static str) {
+        let outcome = self.sched.fail_slots(slots, t, true, cause);
+        for slot in outcome.killed {
+            self.slot_tokens[slot.index()] += 1;
+            self.collector.kills += 1;
+            self.close_trace(slot, t, "crashed");
+        }
+    }
+
+    /// All slots hosted on `node` (an out-of-range node has none — the
+    /// fault is then a no-op).
+    fn node_slots(&self, node: u32) -> Vec<SlotId> {
+        let spec = self.sched.cluster_spec();
+        spec.iter_slots().filter(|&s| spec.node_of(s).as_u32() == node).collect()
     }
 
     /// Runs one resource-offer round and schedules the resulting finish,
@@ -306,7 +425,16 @@ impl Simulation {
             } else {
                 self.sched.locality().sample_slowdown(a.level, &mut rng).max(0.0)
             };
-            let duration = SimDuration::from_secs_f64(intrinsic * factor);
+            // Fault multipliers stretch the already-sampled duration: no
+            // extra RNG draw, so an empty plan leaves the stream untouched.
+            let mut secs = intrinsic * factor;
+            if self.now < self.storm_until {
+                secs *= self.storm_factor;
+            }
+            if self.now < self.cold_until[a.slot.index()] {
+                secs *= self.cold_factor[a.slot.index()];
+            }
+            let duration = SimDuration::from_secs_f64(secs);
             let token = self.slot_tokens[a.slot.index()];
             self.events.push(self.now + duration, Event::TaskFinish { slot: a.slot, token });
             self.collector.locality_counts[locality_index(a.level)] += 1;
@@ -781,6 +909,160 @@ mod tests {
         if report.speculative_copies > 0 {
             assert!(report.trace.iter().any(|r| r.speculative));
         }
+    }
+
+    fn jsonl_of(sink: Box<dyn ssr_trace::TraceSink>) -> String {
+        sink.into_any()
+            .downcast::<ssr_trace::JsonlSink>()
+            .expect("JsonlSink recovered")
+            .finish()
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        let jobs = || {
+            vec![
+                pareto_pipeline("fg", 3, 8, 1.0, 1.4, Priority::new(10)).unwrap(),
+                map_only("bg", 16, constant(5.0), Priority::new(0)).unwrap(),
+            ]
+        };
+        let run = |cfg: SimConfig| {
+            Simulation::new(cfg, PolicyConfig::ssr_strict(), OrderConfig::FifoPriority, jobs())
+                .with_trace_sink(Box::new(ssr_trace::JsonlSink::new()))
+                .run_traced()
+        };
+        let (plain, plain_sink) = run(config(2, 4).with_seed(11).record_trace(true));
+        let (faulted, faulted_sink) = run(
+            config(2, 4).with_seed(11).record_trace(true).with_faults(FaultPlan::default()),
+        );
+        assert_eq!(
+            jsonl_of(plain_sink.unwrap()),
+            jsonl_of(faulted_sink.unwrap()),
+            "empty plan must not perturb the decision trace"
+        );
+        assert_eq!(plain.jct_secs("fg"), faulted.jct_secs("fg"));
+        assert_eq!(plain.jct_secs("bg"), faulted.jct_secs("bg"));
+        assert_eq!(plain.busy_slot_secs, faulted.busy_slot_secs);
+        assert_eq!(plain.events_processed, faulted.events_processed);
+        assert_eq!(plain.trace.len(), faulted.trace.len());
+    }
+
+    #[test]
+    fn node_crash_requeues_and_still_completes() {
+        let job = map_only("m", 8, constant(2.0), Priority::default()).unwrap();
+        let plan = FaultPlan::new()
+            .with(SimTime::from_secs(1), FaultKind::NodeCrash { node: 1, down: None });
+        let report = Simulation::new(
+            config(2, 2).record_trace(true).with_faults(plan),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![job],
+        )
+        .run();
+        assert!(report.completed, "requeued tasks must finish on the surviving node");
+        let crashed = report.trace.iter().filter(|r| r.outcome == "crashed").count();
+        assert_eq!(crashed, 2, "both tasks on the crashed node are killed");
+        // 8 x 2 s tasks on 2 surviving slots after losing 2 mid-flight.
+        assert!(report.jct_secs("m").unwrap() > 4.0);
+        // Every partition still finishes exactly once.
+        let finished = report.trace.iter().filter(|r| r.outcome == "finished").count();
+        assert_eq!(finished, 8);
+    }
+
+    #[test]
+    fn crashed_node_rejoins_after_downtime() {
+        let job = map_only("m", 12, constant(2.0), Priority::default()).unwrap();
+        let heal = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::NodeCrash { node: 1, down: Some(SimDuration::from_secs(3)) },
+        );
+        let permanent = FaultPlan::new()
+            .with(SimTime::from_secs(1), FaultKind::NodeCrash { node: 1, down: None });
+        let run = |plan: FaultPlan| {
+            Simulation::new(
+                config(2, 2).with_faults(plan),
+                PolicyConfig::WorkConserving,
+                OrderConfig::FifoPriority,
+                vec![map_only("m", 12, constant(2.0), Priority::default()).unwrap()],
+            )
+            .run()
+        };
+        let _ = job;
+        let healed = run(heal);
+        let down = run(permanent);
+        assert!(healed.completed && down.completed);
+        assert!(
+            healed.jct_secs("m").unwrap() < down.jct_secs("m").unwrap(),
+            "a rejoining node must speed the job up versus a permanent loss"
+        );
+    }
+
+    #[test]
+    fn partition_survivors_finish_out_of_service() {
+        let job = map_only("m", 8, constant(2.0), Priority::default()).unwrap();
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::NetworkPartition { node: 1, secs: SimDuration::from_secs(10) },
+        );
+        let report = Simulation::new(
+            config(2, 2).record_trace(true).with_faults(plan),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![job],
+        )
+        .run();
+        assert!(report.completed);
+        // Nothing is killed: tasks running through the partition finish.
+        assert!(report.trace.iter().all(|r| r.outcome == "finished"));
+        // The partitioned slots take no new work until the heal at t=11:
+        // 4 done by t=2, the rest run on node 0's two slots.
+        assert_eq!(report.jct_secs("m"), Some(6.0));
+    }
+
+    #[test]
+    fn straggler_storm_stretches_in_flight_window() {
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::StragglerStorm { factor: 2.0, secs: SimDuration::from_secs(100) },
+        );
+        let report = Simulation::new(
+            config(2, 2).with_faults(plan),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![map_only("m", 8, constant(2.0), Priority::default()).unwrap()],
+        )
+        .run();
+        // First wave (launched at t=0) predates the storm and takes 2 s;
+        // the second wave launches at t=2 inside the storm window: 4 s.
+        assert_eq!(report.jct_secs("m"), Some(6.0));
+    }
+
+    #[test]
+    fn executor_restart_runs_cold_through_rampup() {
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(1),
+            FaultKind::ExecutorRestart {
+                node: 1,
+                down: SimDuration::from_secs(1),
+                rampup: SimDuration::from_secs(100),
+                cold_factor: 3.0,
+            },
+        );
+        let report = Simulation::new(
+            config(2, 2).record_trace(true).with_faults(plan),
+            PolicyConfig::WorkConserving,
+            OrderConfig::FifoPriority,
+            vec![map_only("m", 8, constant(2.0), Priority::default()).unwrap()],
+        )
+        .run();
+        assert!(report.completed);
+        // Tasks relaunched on the restarted executor run 3x slower.
+        let cold = report
+            .trace
+            .iter()
+            .filter(|r| r.outcome == "finished" && (r.end_secs - r.start_secs - 6.0).abs() < 1e-9)
+            .count();
+        assert!(cold > 0, "some task must run cold on the restarted node");
     }
 
     #[test]

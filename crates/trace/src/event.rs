@@ -223,6 +223,47 @@ pub enum TraceEventKind {
     /// The delay-scheduling wait elapsed and the simulation woke the
     /// scheduler to retry placement at a relaxed locality level.
     LocalityUnlocked,
+    /// A running task instance was lost to a fault (node crash, slot
+    /// revocation, executor restart) before it could finish (schema v3).
+    TaskCrashed {
+        /// Slot index the instance occupied.
+        slot: u32,
+        /// Owning job.
+        job: JobId,
+        /// Stage within the job.
+        stage: StageId,
+        /// Partition (task index) within the stage.
+        partition: u32,
+        /// Attempt number of the lost instance.
+        attempt: u32,
+        /// Whether the partition went back onto the pending queue (false
+        /// when a surviving duplicate is still running it, or the partition
+        /// had already finished).
+        requeued: bool,
+    },
+    /// A reservation was forcibly released because its slot was lost to a
+    /// fault; distinct from expiry (deadline) and release (job completion)
+    /// (schema v3).
+    ReservationRevoked {
+        /// The lost slot.
+        slot: u32,
+        /// Job that held the reservation.
+        job: JobId,
+    },
+    /// A slot left service: it stops appearing in offers, pre-reservation
+    /// fills, and pool counts until brought back online (schema v3).
+    SlotOffline {
+        /// The slot leaving service.
+        slot: u32,
+        /// Fault that took it down: `"crash"`, `"revocation"`,
+        /// `"partition"`, or `"restart"`.
+        cause: &'static str,
+    },
+    /// A slot returned to service after a fault healed (schema v3).
+    SlotOnline {
+        /// The slot rejoining the pool.
+        slot: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -245,6 +286,10 @@ impl TraceEventKind {
             TraceEventKind::StageCompleted { .. } => "stage-completed",
             TraceEventKind::JobCompleted { .. } => "job-completed",
             TraceEventKind::LocalityUnlocked => "locality-unlocked",
+            TraceEventKind::TaskCrashed { .. } => "task-crashed",
+            TraceEventKind::ReservationRevoked { .. } => "reservation-revoked",
+            TraceEventKind::SlotOffline { .. } => "slot-offline",
+            TraceEventKind::SlotOnline { .. } => "slot-online",
         }
     }
 }

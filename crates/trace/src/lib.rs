@@ -138,7 +138,7 @@ mod tests {
         assert_eq!(lines.len(), 9);
         assert_eq!(
             lines[0],
-            r#"{"event":"trace-start","fields":{"schema_version":2},"seq":0,"time_secs":0.0}"#
+            r#"{"event":"trace-start","fields":{"schema_version":3},"seq":0,"time_secs":0.0}"#
         );
         assert_eq!(
             lines[1],

@@ -114,6 +114,10 @@ pub struct MetricsReport {
     pub reservations_released: u64,
     /// Stage-earmarked reservations released after their stage completed.
     pub stale_reservations_released: u64,
+    /// Running instances lost to injected faults.
+    pub tasks_crashed: u64,
+    /// Reservations forcibly released because their slot was lost to a fault.
+    pub reservations_revoked: u64,
     /// Barrier clears (stages becoming runnable).
     pub barriers_cleared: u64,
     /// Delay-scheduling locality unlock wakeups.
@@ -164,6 +168,12 @@ impl MetricsReport {
             self.reservations_released,
             self.stale_reservations_released
         ));
+        if self.tasks_crashed > 0 || self.reservations_revoked > 0 {
+            line(format!(
+                "  faults: {} tasks crashed, {} reservations revoked",
+                self.tasks_crashed, self.reservations_revoked
+            ));
+        }
         let h = &self.reservation_hold_secs;
         line(format!(
             "  reservation hold time: {} closed, mean {:.3}s",
@@ -254,10 +264,12 @@ impl MetricsReport {
             ("reservations_expired", uint(self.reservations_expired)),
             ("reservations_granted", uint(self.reservations_granted)),
             ("reservations_released", uint(self.reservations_released)),
+            ("reservations_revoked", uint(self.reservations_revoked)),
             ("slot_seconds_per_job", Value::Object(per_job)),
             ("speculation_win_rate", opt(self.speculation_win_rate())),
             ("speculative_launched", uint(self.speculative_launched)),
             ("stale_reservations_released", uint(self.stale_reservations_released)),
+            ("tasks_crashed", uint(self.tasks_crashed)),
             ("tasks_launched", uint(self.tasks_launched)),
         ]);
         debug_assert!(crate::sink::sorted_keys(&root), "metrics JSON keys must be sorted");
@@ -358,6 +370,17 @@ impl TraceSink for MetricsSink {
             K::BarrierCleared { .. } => self.report.barriers_cleared += 1,
             K::StageCompleted { .. } => {}
             K::LocalityUnlocked => self.report.locality_unlocks += 1,
+            K::TaskCrashed { slot, .. } => {
+                self.report.tasks_crashed += 1;
+                self.close_task(*slot, now);
+            }
+            K::ReservationRevoked { slot, .. } => {
+                self.report.reservations_revoked += 1;
+                self.close_reservation(*slot, now);
+            }
+            // Going offline follows the kill/revocation events, so there is
+            // nothing left open on the slot; coming back online starts fresh.
+            K::SlotOffline { .. } | K::SlotOnline { .. } => {}
         }
     }
 

@@ -21,7 +21,11 @@ use crate::metrics::MetricsSink;
 /// - **v2** — `job-submitted` gained `stages` (per-stage task counts and
 ///   parent edges); `offer-declined` gained `stage` (the blocked stage).
 ///   Readers accepting v1 treat the missing fields as empty/absent.
-pub const SCHEMA_VERSION: u32 = 2;
+/// - **v3** — four fault-lifecycle events: `task-crashed`,
+///   `reservation-revoked`, `slot-offline`, `slot-online`. Traces from
+///   runs with an empty `FaultPlan` contain none of them, so v2 readers
+///   still parse fault-free v3 output.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Receiver for scheduler decision events.
 ///
@@ -81,7 +85,7 @@ impl TraceSink for VecSink {
 /// discipline as `ssr-lint --format json`, so equal traces are equal bytes:
 ///
 /// ```text
-/// {"event":"trace-start","fields":{"schema_version":2},"seq":0,"time_secs":0.0}
+/// {"event":"trace-start","fields":{"schema_version":3},"seq":0,"time_secs":0.0}
 /// {"event":"job-submitted","fields":{"job":0,"name":"fg","priority":10,"stages":[{"parents":[],"tasks":4}]},"seq":1,"time_secs":0.0}
 /// ```
 ///
@@ -279,6 +283,23 @@ fn event_fields(kind: &TraceEventKind) -> Value {
         ]),
         K::JobCompleted { job } => obj(vec![("job", Value::UInt(job.as_u64()))]),
         K::LocalityUnlocked => obj(vec![]),
+        K::TaskCrashed { slot, job, stage, partition, attempt, requeued } => obj(vec![
+            ("attempt", uint(*attempt)),
+            ("job", Value::UInt(job.as_u64())),
+            ("partition", uint(*partition)),
+            ("requeued", Value::Bool(*requeued)),
+            ("slot", uint(*slot)),
+            ("stage", uint(stage.as_u32())),
+        ]),
+        K::ReservationRevoked { slot, job } => obj(vec![
+            ("job", Value::UInt(job.as_u64())),
+            ("slot", uint(*slot)),
+        ]),
+        K::SlotOffline { slot, cause } => obj(vec![
+            ("cause", Value::Str((*cause).into())),
+            ("slot", uint(*slot)),
+        ]),
+        K::SlotOnline { slot } => obj(vec![("slot", uint(*slot))]),
     }
 }
 

@@ -19,6 +19,8 @@
 //! | [`core`] | `ssr-core` | **the paper's contribution**: Algorithm 1, deadlines, straggler mitigation |
 //! | [`analytics`] | `ssr-analytics` | Eqs. 1–4, Pareto fitting, numerical studies |
 //! | [`sim`] | `ssr-sim` | discrete-event simulator, metrics, experiment harness |
+//! | [`faults`] | `ssr-faults` | deterministic fault plans: crashes, revocations, partitions |
+//! | [`check`] | `ssr-check` | invariant checker + bounded-exhaustive scheduler exploration |
 //!
 //! # Quickstart
 //!
@@ -44,9 +46,11 @@
 #![warn(missing_docs)]
 
 pub use ssr_analytics as analytics;
+pub use ssr_check as check;
 pub use ssr_cluster as cluster;
 pub use ssr_core as core;
 pub use ssr_dag as dag;
+pub use ssr_faults as faults;
 pub use ssr_scheduler as scheduler;
 pub use ssr_sim as sim;
 pub use ssr_simcore as simcore;
@@ -55,8 +59,10 @@ pub use ssr_workload as workload;
 /// The most common imports for building and running experiments.
 pub mod prelude {
     pub use ssr_cluster::{ClusterSpec, LocalityLevel, LocalityModel, SlotId};
+    pub use ssr_check::InvariantChecker;
     pub use ssr_core::{SpeculativeReservation, SsrConfig};
     pub use ssr_dag::{JobId, JobSpec, JobSpecBuilder, Priority, StageId};
+    pub use ssr_faults::{FaultKind, FaultPlan};
     pub use ssr_scheduler::{Fair, FifoPriority, TaskScheduler, WorkConserving};
     pub use ssr_sim::{
         Experiment, ExperimentOutcome, OrderConfig, PolicyConfig, SimConfig, SimReport,

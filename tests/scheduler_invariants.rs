@@ -13,7 +13,11 @@
 //!    strategy alike) exactly one attempt of every task finishes and no
 //!    copy outlives the winning attempt,
 //! 7. per-trial RNG streams are pure functions of `(root_seed, index)`
-//!    and distinct indices draw from distinct streams.
+//!    and distinct indices draw from distinct streams,
+//! 8. under randomized deterministic fault plans (crashes, revocations,
+//!    partitions, straggler storms, executor restarts) the reservation
+//!    protocol keeps every `ssr-check` invariant, the workload still
+//!    drains, and the faulted run replays byte-identically.
 
 use std::collections::HashMap;
 
@@ -240,6 +244,75 @@ proptest! {
     }
 }
 
+/// One randomized fault: every kind the plan language supports, with
+/// parameters bounded so the 2x2 cluster always retains capacity (crashes
+/// and restarts heal; only node-0 slots can be permanently revoked, so
+/// node 1 keeps the run drainable).
+fn fault_strategy() -> impl Strategy<Value = (f64, FaultKind)> {
+    let at = 0.0f64..40.0;
+    prop_oneof![
+        (at.clone(), 0u32..2, 0.5f64..10.0).prop_map(|(at, node, down)| {
+            (at, FaultKind::NodeCrash { node, down: Some(SimDuration::from_secs_f64(down)) })
+        }),
+        (at.clone(), 0u32..2).prop_map(|(at, slot)| (at, FaultKind::SlotRevocation { slot })),
+        (at.clone(), 0u32..2, 0.5f64..8.0).prop_map(|(at, node, secs)| {
+            (at, FaultKind::NetworkPartition { node, secs: SimDuration::from_secs_f64(secs) })
+        }),
+        (at.clone(), 1.2f64..4.0, 0.5f64..10.0).prop_map(|(at, factor, secs)| {
+            (at, FaultKind::StragglerStorm { factor, secs: SimDuration::from_secs_f64(secs) })
+        }),
+        (at, 0u32..2, 0.5f64..5.0, 0.5f64..5.0, 1.2f64..3.0).prop_map(
+            |(at, node, down, rampup, cold_factor)| {
+                (
+                    at,
+                    FaultKind::ExecutorRestart {
+                        node,
+                        down: SimDuration::from_secs_f64(down),
+                        rampup: SimDuration::from_secs_f64(rampup),
+                        cold_factor,
+                    },
+                )
+            }
+        ),
+    ]
+}
+
+/// Runs the contended two-job scenario with `plan` injected, returning
+/// whether the run drained and the full decision-event stream.
+fn run_faulted(
+    policy: PolicyConfig,
+    plan: FaultPlan,
+    seed: u64,
+) -> (bool, Vec<ssr_trace::TraceEvent>) {
+    let fg = JobSpecBuilder::new("fg")
+        .priority(Priority::new(10))
+        .stage("up", 4, constant(2.0))
+        .stage("down", 2, constant(3.0))
+        .chain()
+        .build()
+        .expect("valid job");
+    let bg = JobSpecBuilder::new("bg")
+        .priority(Priority::new(0))
+        .stage("map", 8, constant(5.0))
+        .build()
+        .expect("valid job");
+    let config = SimConfig::new(ClusterSpec::new(2, 2).expect("valid cluster"))
+        .with_locality(LocalityModel::paper_simulation().with_wait(SimDuration::ZERO))
+        .with_seed(seed)
+        .with_faults(plan);
+    let (report, sink) =
+        ssr::sim::Simulation::new(config, policy, OrderConfig::FifoPriority, vec![fg, bg])
+            .with_trace_sink(Box::new(ssr_trace::VecSink::new()))
+            .run_traced();
+    let events = sink
+        .expect("sink attached")
+        .into_any()
+        .downcast::<ssr_trace::VecSink>()
+        .expect("VecSink recovered")
+        .into_events();
+    (report.completed, events)
+}
+
 /// Deterministic regression: the §II-B "case 1" scenario — the freed slot
 /// goes to the backlogged job and the barrier waits for it.
 #[test]
@@ -410,6 +483,34 @@ proptest! {
                 prop_assert!(t2 >= t, "threshold must be monotone in the multiplier");
             }
         }
+    }
+
+    /// Any randomized fault plan, against any reservation policy: the
+    /// trace satisfies every `ssr-check` protocol invariant, the workload
+    /// still drains (the plan's bounds guarantee surviving capacity), and
+    /// the faulted run replays byte-identically — faults are data, not
+    /// randomness.
+    #[test]
+    fn random_fault_plans_keep_every_protocol_invariant(
+        seed in 0u64..10_000,
+        faults in proptest::collection::vec(fault_strategy(), 0..5),
+        policy_idx in 0usize..3,
+    ) {
+        let mut plan = FaultPlan::new();
+        for (at, kind) in &faults {
+            plan.push(SimTime::from_secs_f64(*at), kind.clone());
+        }
+        let policy = match policy_idx {
+            0 => PolicyConfig::WorkConserving,
+            1 => PolicyConfig::ssr_strict(),
+            _ => PolicyConfig::Timeout(SimDuration::from_secs(15)),
+        };
+        let (completed, events) = run_faulted(policy.clone(), plan.clone(), seed);
+        let report = ssr::check::InvariantChecker::new().check_all(&events);
+        prop_assert!(report.is_clean(), "{:?}:\n{}", policy, report.render_text());
+        prop_assert!(completed, "{:?}: the surviving node must drain the workload", policy);
+        let (_, replay) = run_faulted(policy, plan, seed);
+        prop_assert_eq!(&events, &replay, "faulted runs must replay identically");
     }
 
     /// Per-trial RNG streams: `SimRng::stream(root, index)` is a pure
