@@ -7,8 +7,19 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
 
-echo "==> ssr-lint (determinism contract)"
-cargo run -q --release -p ssr-lint --offline
+echo "==> ssr-lint (determinism contract + workspace audits, baseline-gated)"
+# Auto-loads ./lint.baseline: the gate is "zero findings beyond the
+# audited ledger". The per-code summary prints how each family fared.
+lint_dir=$(mktemp -d)
+cargo run -q --release -p ssr-lint --offline | tee "$lint_dir/lint.txt"
+grep -E "^per-code:" "$lint_dir/lint.txt"
+
+echo "==> ssr-lint --format json is byte-stable across runs"
+cargo run -q --release -p ssr-lint --offline -- --format json > "$lint_dir/lint1.json"
+cargo run -q --release -p ssr-lint --offline -- --format json > "$lint_dir/lint2.json"
+cmp "$lint_dir/lint1.json" "$lint_dir/lint2.json"
+grep -q '"schema_version": 2' "$lint_dir/lint1.json"
+rm -rf "$lint_dir"
 
 echo "==> cargo test -q"
 cargo test -q --workspace --offline

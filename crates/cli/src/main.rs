@@ -13,7 +13,7 @@
 //! ssr-cli explain trace.jsonl --alone alone-kmeans.jsonl
 //! ssr-cli check faulted.jsonl
 //! ssr-cli check --explore --json
-//! ssr-cli lint [--format json]
+//! ssr-cli lint [--format json] [--baseline lint.baseline] [--explain-chain]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -69,7 +69,10 @@ fn usage() {
          \x20 check     verify the reservation protocol: replay a trace\n\
          \x20           through the invariant checker, or model-check the\n\
          \x20           scheduler exhaustively with --explore\n\
-         \x20 lint      run the workspace determinism linter (ssr-lint)\n\
+         \x20 lint      run the workspace determinism linter (ssr-lint):\n\
+         \x20           per-file checks plus call-graph taint, panic-path,\n\
+         \x20           trace-coverage and hot-path-allocation audits\n\
+         \x20           (--baseline, --explain-chain, --format json)\n\
          \n\
          run flags:\n\
          \x20 --cluster NxS        nodes x slots-per-node (default 4x2)\n\

@@ -1,0 +1,144 @@
+//! The checked-in findings baseline: incremental adoption for the
+//! workspace audit passes.
+//!
+//! A baseline file holds one entry per line:
+//!
+//! ```text
+//! # comment
+//! P001 crates/scheduler/src/engine.rs fail_slots 1 reason="invariant R1: …"
+//! ```
+//!
+//! Fields are `CODE file function count reason="…"`, whitespace-
+//! separated; `function` is `-` for findings without an enclosing
+//! function. Entries are keyed on `(code, file, function)` rather than
+//! line numbers so unrelated edits do not invalidate the baseline, and
+//! `count` caps how many findings the entry may absorb — a regression
+//! that *adds* a panic site to a baselined function still fails. Every
+//! entry must carry a non-empty reason: the baseline is a ledger of
+//! audited debt, not a mute button.
+
+use std::collections::BTreeMap;
+
+use crate::report::Diagnostic;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Lint code (`P001`, `A001`, …).
+    pub code: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Enclosing function name, or `-` for file-level findings.
+    pub function: String,
+    /// Maximum number of findings this entry absorbs.
+    pub count: usize,
+    /// Why the findings are acceptable. Mandatory.
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses baseline text; errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let code = parts.next().unwrap_or_default().to_owned();
+            let file = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing file field"))?
+                .to_owned();
+            let function = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing function field"))?
+                .to_owned();
+            let count: usize = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing count field"))?
+                .parse()
+                .map_err(|_| format!("line {lineno}: count must be an integer"))?;
+            if count == 0 {
+                return Err(format!("line {lineno}: count must be at least 1"));
+            }
+            let rpos = line
+                .find("reason=\"")
+                .ok_or_else(|| format!("line {lineno}: entry must end with reason=\"…\""))?;
+            let reason = line[rpos + "reason=\"".len()..]
+                .strip_suffix('"')
+                .ok_or_else(|| {
+                    format!("line {lineno}: reason must be a double-quoted string")
+                })?
+                .to_owned();
+            if reason.trim().is_empty() {
+                return Err(format!("line {lineno}: reason must not be empty"));
+            }
+            entries.push(BaselineEntry { code, file, function, count, reason });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline back to text ([`parse`](Baseline::parse) of
+    /// the result round-trips).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ssr-lint baseline — audited findings awaiting burn-down.\n\
+             # Format: CODE file function count reason=\"…\"  (function `-` = file level)\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} {} {} {} reason=\"{}\"\n",
+                e.code, e.file, e.function, e.count, e.reason
+            ));
+        }
+        out
+    }
+
+    /// Splits `findings` into kept findings and a baselined count;
+    /// returns `(kept, baselined, stale)` where `stale` describes
+    /// entries that absorbed fewer findings than their `count` (or
+    /// none), signalling the baseline should be tightened.
+    pub fn apply(&self, findings: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize, Vec<String>) {
+        let mut budget: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget.entry((e.code.clone(), e.file.clone(), e.function.clone())).or_insert(0) +=
+                e.count;
+        }
+        let mut used: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        let mut kept = Vec::new();
+        let mut baselined = 0usize;
+        for d in findings {
+            let function = if d.function.is_empty() { "-".to_owned() } else { d.function.clone() };
+            let key = (d.code.clone(), d.file.clone(), function);
+            let remaining = budget.get(&key).copied().unwrap_or(0);
+            let consumed = used.get(&key).copied().unwrap_or(0);
+            if consumed < remaining {
+                *used.entry(key).or_insert(0) += 1;
+                baselined += 1;
+            } else {
+                kept.push(d);
+            }
+        }
+        let mut stale = Vec::new();
+        for (key, total) in &budget {
+            let consumed = used.get(key).copied().unwrap_or(0);
+            if consumed < *total {
+                stale.push(format!(
+                    "{} {} {}: baseline allows {} finding(s), saw {}",
+                    key.0, key.1, key.2, total, consumed
+                ));
+            }
+        }
+        (kept, baselined, stale)
+    }
+}

@@ -11,8 +11,10 @@
 //! byte-identical-replay contract governs shipped simulation code, and
 //! test-only nondeterminism is caught by the golden regression tests.
 
+use crate::callgraph::{CallGraph, GraphFile};
 use crate::lexer::{lex, Lexed, Tok, TokKind};
 use crate::report::Diagnostic;
+use crate::suppress::{parse_directives, Suppression};
 
 /// Crates whose code is on the deterministic replay path: anything that
 /// executes between seed and report must be a pure function of its
@@ -37,7 +39,39 @@ pub const THREADING_FILES: &[&str] = &["crates/sim/src/runner.rs"];
 pub const RNG_HOME_FILES: &[&str] = &["crates/simcore/src/rng.rs"];
 
 /// All lint codes, in report order.
-pub const CODES: &[&str] = &["D001", "D002", "D003", "D004", "D005", "S001", "L001"];
+pub const CODES: &[&str] = &[
+    "A001", "D001", "D002", "D003", "D004", "D005", "D101", "D102", "D103", "D104", "D105",
+    "D106", "L001", "L002", "P001", "S001", "T001",
+];
+
+/// Function names that root the P001 panic-path audit: the scheduler's
+/// fault-recovery entry points (PR 6). Anything these can reach on the
+/// call graph must not panic — a fault event escalating into a
+/// scheduler panic turns one lost slot into a lost scheduler.
+pub const RECOVERY_ROOTS: &[&str] = &[
+    "fail_slots",
+    "restore_slots",
+    "instance_crashed",
+    "instance_killed",
+    "take_offline",
+    "bring_online",
+    "expire_reservations",
+];
+
+/// Function names that root the A001 allocation audit: the offer-round
+/// hot path that must stay allocation-free to scale to 100k slots
+/// (ROADMAP item 1).
+pub const HOT_PATH_ROOTS: &[&str] = &["resource_offers"];
+
+/// The enum T001 audits for emission/reader exhaustiveness.
+pub const TRACE_EVENT_ENUM: &str = "TraceEventKind";
+
+/// Crates that must emit every trace event variant.
+const TRACE_EMITTER_CRATES: &[&str] = &["scheduler", "sim"];
+
+/// Crates that must reference every trace event variant (checker
+/// invariants or explain-side readers).
+const TRACE_READER_CRATES: &[&str] = &["check", "explain"];
 
 /// Hash-collection iteration methods whose visit order is
 /// nondeterministic (D001).
@@ -77,20 +111,6 @@ pub struct FileOutcome {
     /// Every parsed suppression directive, so callers can audit that
     /// each one carries a reason.
     pub directives: Vec<Suppression>,
-}
-
-/// One parsed `// ssr-lint: allow(CODE, reason = "…")` directive.
-#[derive(Debug, Clone)]
-pub struct Suppression {
-    /// The lint code being silenced.
-    pub code: String,
-    /// The justification, if given (`None` is itself an L001 finding).
-    pub reason: Option<String>,
-    /// The line whose findings this directive silences: its own line for
-    /// a trailing comment, the next line for a standalone comment.
-    pub applies_line: u32,
-    /// The line the directive comment sits on.
-    pub line: u32,
 }
 
 /// Lints a single file given its workspace-relative path (which decides
@@ -165,115 +185,11 @@ fn is_crate_root(rel: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// Suppression directives
-// ---------------------------------------------------------------------
-
-/// Extracts directives from line comments; malformed or reasonless
-/// directives produce L001 findings.
-fn parse_directives(rel: &str, lexed: &Lexed) -> (Vec<Suppression>, Vec<Diagnostic>) {
-    let mut directives = Vec::new();
-    let mut diags = Vec::new();
-    for comment in &lexed.comments {
-        // Directives live in plain `//` comments only; doc comments may
-        // *describe* the syntax without being directives.
-        if comment.text.starts_with("///") || comment.text.starts_with("//!") {
-            continue;
-        }
-        let Some(at) = comment.text.find("ssr-lint:") else { continue };
-        let rest = comment.text[at + "ssr-lint:".len()..].trim();
-        let applies_line = if comment.own_line { comment.line + 1 } else { comment.line };
-        match parse_allow(rest) {
-            Ok((code, reason)) => {
-                if !CODES.contains(&code.as_str()) {
-                    diags.push(Diagnostic::new(
-                        "L001",
-                        rel,
-                        comment.line,
-                        comment.col,
-                        format!("unknown lint code `{code}` in ssr-lint directive"),
-                        format!("known codes: {}", CODES.join(", ")),
-                    ));
-                    continue;
-                }
-                if reason.is_none() {
-                    diags.push(Diagnostic::new(
-                        "L001",
-                        rel,
-                        comment.line,
-                        comment.col,
-                        format!("suppression of {code} without a reason"),
-                        format!(
-                            "write `// ssr-lint: allow({code}, reason = \"why this is \
-                             deterministic\")` — every exception to the replay contract \
-                             must carry its justification"
-                        ),
-                    ));
-                }
-                directives.push(Suppression {
-                    code,
-                    reason,
-                    applies_line,
-                    line: comment.line,
-                });
-            }
-            Err(why) => {
-                diags.push(Diagnostic::new(
-                    "L001",
-                    rel,
-                    comment.line,
-                    comment.col,
-                    format!("malformed ssr-lint directive: {why}"),
-                    "expected `// ssr-lint: allow(CODE, reason = \"…\")`".to_owned(),
-                ));
-            }
-        }
-    }
-    (directives, diags)
-}
-
-/// Parses `allow(CODE)` / `allow(CODE, reason = "…")`.
-fn parse_allow(text: &str) -> Result<(String, Option<String>), String> {
-    let rest = text
-        .strip_prefix("allow")
-        .ok_or_else(|| "expected `allow(...)`".to_owned())?
-        .trim_start();
-    let rest = rest.strip_prefix('(').ok_or_else(|| "expected `(` after `allow`".to_owned())?;
-    let close = rest.rfind(')').ok_or_else(|| "missing closing `)`".to_owned())?;
-    let inner = &rest[..close];
-    let mut parts = inner.splitn(2, ',');
-    let code = parts.next().unwrap_or("").trim().to_owned();
-    if code.is_empty() {
-        return Err("missing lint code".to_owned());
-    }
-    let reason = match parts.next() {
-        None => None,
-        Some(arg) => {
-            let arg = arg.trim();
-            let value = arg
-                .strip_prefix("reason")
-                .map(str::trim_start)
-                .and_then(|a| a.strip_prefix('='))
-                .map(str::trim)
-                .ok_or_else(|| "expected `reason = \"…\"`".to_owned())?;
-            let value = value
-                .strip_prefix('"')
-                .and_then(|v| v.strip_suffix('"'))
-                .ok_or_else(|| "reason must be a double-quoted string".to_owned())?;
-            if value.trim().is_empty() {
-                return Err("reason must not be empty".to_owned());
-            }
-            Some(value.to_owned())
-        }
-    };
-    Ok((code, reason))
-}
-
-// ---------------------------------------------------------------------
 // Test-region exemption
 // ---------------------------------------------------------------------
 
 /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
-fn exempt_ranges(tokens: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn exempt_ranges(tokens: &[Tok]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i + 1 < tokens.len() {
@@ -444,11 +360,37 @@ fn hash_tainted_names(tokens: &[Tok]) -> Vec<String> {
     names
 }
 
-fn check_d001(rel: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+/// One hash-collection iteration site, shared between the per-file
+/// D001 pass and the D103 taint-source detector.
+#[derive(Debug, Clone)]
+pub(crate) struct HashIterSite {
+    /// Token index of the method name (or the `for` keyword).
+    pub idx: usize,
+    /// The iterated collection's binding name.
+    pub name: String,
+    /// The iteration method, or `None` for a `for … in name` loop.
+    pub method: Option<String>,
+}
+
+impl HashIterSite {
+    /// Short source description for taint diagnostics.
+    pub(crate) fn desc(&self) -> String {
+        match &self.method {
+            Some(m) => format!("{}.{}()", self.name, m),
+            None => format!("for … in {}", self.name),
+        }
+    }
+}
+
+/// Detects every hash-collection iteration site in a file (regardless
+/// of crate — the caller decides whether that is a D001 finding or a
+/// D103 taint source).
+pub(crate) fn hash_iter_sites(lexed: &Lexed) -> Vec<HashIterSite> {
     let tokens = &lexed.tokens;
     let tainted = hash_tainted_names(tokens);
+    let mut sites = Vec::new();
     if tainted.is_empty() {
-        return;
+        return sites;
     }
     let is_tainted = |t: &Tok| t.kind == TokKind::Ident && tainted.contains(&t.text);
 
@@ -461,21 +403,11 @@ fn check_d001(rel: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
             && is_tainted(&tokens[i - 2])
             && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
         {
-            out.push(Diagnostic::new(
-                "D001",
-                rel,
-                tok.line,
-                tok.col,
-                format!(
-                    "iteration over hash collection `{}` via `.{}()` — visit order \
-                     is nondeterministic in a deterministic-path crate",
-                    tokens[i - 2].text, tok.text
-                ),
-                "use BTreeMap/BTreeSet (or collect and sort) so replay order is fixed; \
-                 if the result is provably order-independent, annotate with \
-                 `// ssr-lint: allow(D001, reason = \"…\")`"
-                    .to_owned(),
-            ));
+            sites.push(HashIterSite {
+                idx: i,
+                name: tokens[i - 2].text.clone(),
+                method: Some(tok.text.clone()),
+            });
         }
         // `for x in [&[mut]] name {`.
         if tok.is_ident("for") {
@@ -511,25 +443,56 @@ fn check_d001(rel: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
             if tokens.get(k).is_some_and(|t| t.is_punct("{")) {
                 if let Some(name) = last_ident {
                     if is_tainted(name) {
-                        out.push(Diagnostic::new(
-                            "D001",
-                            rel,
-                            tok.line,
-                            tok.col,
-                            format!(
-                                "`for … in {}` iterates a hash collection — visit order \
-                                 is nondeterministic in a deterministic-path crate",
-                                name.text
-                            ),
-                            "use BTreeMap/BTreeSet (or collect and sort) so replay order \
-                             is fixed; if the loop body is provably order-independent, \
-                             annotate with `// ssr-lint: allow(D001, reason = \"…\")`"
-                                .to_owned(),
-                        ));
+                        sites.push(HashIterSite {
+                            idx: i,
+                            name: name.text.clone(),
+                            method: None,
+                        });
                     }
                 }
             }
         }
+    }
+    sites
+}
+
+fn check_d001(rel: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    let tokens = &lexed.tokens;
+    for site in hash_iter_sites(lexed) {
+        let tok = &tokens[site.idx];
+        let diag = match &site.method {
+            Some(method) => Diagnostic::new(
+                "D001",
+                rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "iteration over hash collection `{}` via `.{}()` — visit order \
+                     is nondeterministic in a deterministic-path crate",
+                    site.name, method
+                ),
+                "use BTreeMap/BTreeSet (or collect and sort) so replay order is fixed; \
+                 if the result is provably order-independent, annotate with \
+                 `// ssr-lint: allow(D001, reason = \"…\")`"
+                    .to_owned(),
+            ),
+            None => Diagnostic::new(
+                "D001",
+                rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "`for … in {}` iterates a hash collection — visit order \
+                     is nondeterministic in a deterministic-path crate",
+                    site.name
+                ),
+                "use BTreeMap/BTreeSet (or collect and sort) so replay order \
+                 is fixed; if the loop body is provably order-independent, \
+                 annotate with `// ssr-lint: allow(D001, reason = \"…\")`"
+                    .to_owned(),
+            ),
+        };
+        out.push(diag);
     }
 }
 
@@ -668,6 +631,321 @@ fn check_d005(rel: &str, tokens: &[Tok], out: &mut Vec<Diagnostic>) {
                  user-provided seed"
                     .to_owned(),
             ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// P001 — panic sites on scheduler recovery paths
+// ---------------------------------------------------------------------
+
+/// Potential panic sites in one body range: `.unwrap()`, `.expect(…)`,
+/// `panic!`/`unreachable!`, and indexing.
+fn panic_sites(tokens: &[Tok], open: usize, close: usize, skip: &[(usize, usize)]) -> Vec<(usize, &'static str)> {
+    let mut sites = Vec::new();
+    let in_skip = |k: usize| skip.iter().any(|&(o, c)| o <= k && k <= c);
+    for k in open + 1..close {
+        if in_skip(k) {
+            continue;
+        }
+        let t = &tokens[k];
+        let prev = k.checked_sub(1).and_then(|p| tokens.get(p));
+        let next = tokens.get(k + 1);
+        if t.is_ident("unwrap")
+            && prev.is_some_and(|p| p.is_punct("."))
+            && next.is_some_and(|n| n.is_punct("("))
+        {
+            sites.push((k, ".unwrap()"));
+        } else if t.is_ident("expect")
+            && prev.is_some_and(|p| p.is_punct("."))
+            && next.is_some_and(|n| n.is_punct("("))
+        {
+            sites.push((k, ".expect(…)"));
+        } else if t.is_ident("panic") && next.is_some_and(|n| n.is_punct("!")) {
+            sites.push((k, "panic!"));
+        } else if t.is_ident("unreachable") && next.is_some_and(|n| n.is_punct("!")) {
+            sites.push((k, "unreachable!"));
+        } else if t.is_punct("[")
+            && prev.is_some_and(|p| {
+                (p.kind == TokKind::Ident && !p.is_ident("mut") && !p.is_ident("in"))
+                    || p.is_punct(")")
+                    || p.is_punct("]")
+            })
+        {
+            sites.push((k, "indexing `[…]`"));
+        }
+    }
+    sites
+}
+
+/// P001: walks forward from the recovery roots and reports every panic
+/// site reachable in a deterministic crate, with the root→site chain.
+pub(crate) fn check_p001(graph: &CallGraph, files: &[GraphFile<'_>], out: &mut Vec<Diagnostic>) {
+    reachability_audit(graph, files, RECOVERY_ROOTS, out, &mut |node, tokens, open, close, skip, chain, root| {
+        panic_sites(tokens, open, close, skip)
+            .into_iter()
+            .map(|(k, what)| {
+                Diagnostic::new(
+                    "P001",
+                    &node.file,
+                    tokens[k].line,
+                    tokens[k].col,
+                    format!(
+                        "`{}` in `{}` on a scheduler recovery path (reachable from \
+                         recovery root `{}`) — a fault event must not escalate into a \
+                         scheduler panic",
+                        what, node.name, root
+                    ),
+                    "handle the `None`/`Err` case with a typed early-return, or name the \
+                     invariant in the `expect` message and record the site in \
+                     lint.baseline (or `// ssr-lint: allow(P001, reason = \"…\")`)"
+                        .to_owned(),
+                )
+                .with_function(&node.name)
+                .with_chain(chain.to_vec())
+            })
+            .collect()
+    });
+}
+
+// ---------------------------------------------------------------------
+// A001 — allocation in the offer-round hot path
+// ---------------------------------------------------------------------
+
+/// Allocation markers in one body range: `Vec::new`, `vec!`,
+/// `Box::new`, `.clone()`, `.collect()`.
+fn alloc_sites(tokens: &[Tok], open: usize, close: usize, skip: &[(usize, usize)]) -> Vec<(usize, &'static str)> {
+    let mut sites = Vec::new();
+    let in_skip = |k: usize| skip.iter().any(|&(o, c)| o <= k && k <= c);
+    for k in open + 1..close {
+        if in_skip(k) {
+            continue;
+        }
+        let t = &tokens[k];
+        let prev = k.checked_sub(1).and_then(|p| tokens.get(p));
+        let next = tokens.get(k + 1);
+        if t.is_ident("Vec")
+            && next.is_some_and(|n| n.is_punct("::"))
+            && tokens.get(k + 2).is_some_and(|n| n.is_ident("new"))
+        {
+            sites.push((k, "Vec::new"));
+        } else if t.is_ident("vec") && next.is_some_and(|n| n.is_punct("!")) {
+            sites.push((k, "vec!"));
+        } else if t.is_ident("Box")
+            && next.is_some_and(|n| n.is_punct("::"))
+            && tokens.get(k + 2).is_some_and(|n| n.is_ident("new"))
+        {
+            sites.push((k, "Box::new"));
+        } else if t.is_ident("clone")
+            && prev.is_some_and(|p| p.is_punct("."))
+            && next.is_some_and(|n| n.is_punct("("))
+        {
+            sites.push((k, ".clone()"));
+        } else if t.is_ident("collect")
+            && prev.is_some_and(|p| p.is_punct("."))
+            && next.is_some_and(|n| n.is_punct("(") || n.is_punct("::"))
+        {
+            sites.push((k, ".collect()"));
+        }
+    }
+    sites
+}
+
+/// A001: walks forward from `resource_offers` and reports every
+/// allocation marker reachable in a deterministic crate.
+pub(crate) fn check_a001(graph: &CallGraph, files: &[GraphFile<'_>], out: &mut Vec<Diagnostic>) {
+    reachability_audit(graph, files, HOT_PATH_ROOTS, out, &mut |node, tokens, open, close, skip, chain, root| {
+        alloc_sites(tokens, open, close, skip)
+            .into_iter()
+            .map(|(k, what)| {
+                Diagnostic::new(
+                    "A001",
+                    &node.file,
+                    tokens[k].line,
+                    tokens[k].col,
+                    format!(
+                        "allocation (`{}`) in `{}`, reachable from `{}` — the offer \
+                         round must stay allocation-free to scale to 100k slots",
+                        what, node.name, root
+                    ),
+                    "hoist the allocation into a reusable scratch buffer owned by the \
+                     scheduler (see the `candidates`/`scratch` pattern in TaskScheduler) \
+                     or record it in lint.baseline with a reason"
+                        .to_owned(),
+                )
+                .with_function(&node.name)
+                .with_chain(chain.to_vec())
+            })
+            .collect()
+    });
+}
+
+/// Callback for [`reachability_audit`]: turns one reached
+/// deterministic-crate function — `(node, tokens, body_open,
+/// body_close, nested_ranges, chain, root_name)` — into findings.
+type AuditEmit<'a> = dyn FnMut(
+        &crate::callgraph::FnNode,
+        &[Tok],
+        usize,
+        usize,
+        &[(usize, usize)],
+        &[String],
+        &str,
+    ) -> Vec<Diagnostic>
+    + 'a;
+
+/// Shared driver for the forward-reachability audits: finds the roots
+/// by name in deterministic crates, BFS-walks the graph, and lets
+/// `emit` turn each reached deterministic-crate function into findings.
+fn reachability_audit(
+    graph: &CallGraph,
+    files: &[GraphFile<'_>],
+    root_names: &[&str],
+    out: &mut Vec<Diagnostic>,
+    emit: &mut AuditEmit<'_>,
+) {
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            DETERMINISTIC_CRATES.contains(&f.krate.as_str())
+                && root_names.contains(&f.name.as_str())
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parents = graph.reach_forward(&roots);
+    for &idx in parents.keys() {
+        let node = &graph.fns[idx];
+        if !DETERMINISTIC_CRATES.contains(&node.krate.as_str()) {
+            continue;
+        }
+        let Some((open, close)) = node.body else { continue };
+        let tokens = &files[node.file_idx].lexed.tokens;
+        let skip = graph.nested_bodies(idx);
+        let chain_idx = CallGraph::chain_to(&parents, idx);
+        let root_name = graph.fns[chain_idx[0]].name.clone();
+        let chain: Vec<String> = chain_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &ci)| {
+                let n = &graph.fns[ci];
+                if i == 0 {
+                    format!("{}:{} {} (recovery/hot-path root)", n.file, n.line, n.name)
+                } else {
+                    format!("{}:{} {}", n.file, n.line, n.name)
+                }
+            })
+            .collect();
+        out.extend(emit(node, tokens, open, close, &skip, &chain, &root_name));
+    }
+}
+
+// ---------------------------------------------------------------------
+// T001 — trace-emission exhaustiveness
+// ---------------------------------------------------------------------
+
+/// T001: every `TraceEventKind` variant must be emitted somewhere in
+/// the scheduler/sim crates and referenced somewhere in the
+/// check/explain crates, so the trace schema cannot silently drift
+/// from the engine or outlive its consumers.
+pub(crate) fn check_t001(files: &[GraphFile<'_>], out: &mut Vec<Diagnostic>) {
+    // Locate the enum in the trace crate.
+    let mut variants: Vec<(String, u32)> = Vec::new();
+    let mut enum_file = String::new();
+    for f in files {
+        if f.parsed.krate.as_deref() != Some("trace") {
+            continue;
+        }
+        for e in &f.parsed.enums {
+            if e.name == TRACE_EVENT_ENUM {
+                variants.clone_from(&e.variants);
+                enum_file = f.rel.to_owned();
+            }
+        }
+    }
+    if variants.is_empty() {
+        return;
+    }
+    let mut emitted: Vec<&str> = Vec::new();
+    let mut referenced: Vec<&str> = Vec::new();
+    for f in files {
+        let Some(krate) = f.parsed.krate.as_deref() else { continue };
+        let tokens = &f.lexed.tokens;
+        if TRACE_EMITTER_CRATES.contains(&krate) {
+            let exempt = exempt_ranges(tokens);
+            let in_exempt =
+                |line: u32| exempt.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+            for (k, t) in tokens.iter().enumerate() {
+                if t.is_ident(TRACE_EVENT_ENUM)
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct("::"))
+                    && !in_exempt(t.line)
+                {
+                    if let Some(v) = tokens.get(k + 2) {
+                        if let Some((name, _)) =
+                            variants.iter().find(|(name, _)| v.is_ident(name))
+                        {
+                            if !emitted.contains(&name.as_str()) {
+                                emitted.push(name);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if TRACE_READER_CRATES.contains(&krate) {
+            // Reader references may live in tests — a pinned reader
+            // test is exactly the kind of consumer T001 wants.
+            for t in tokens {
+                if let Some((name, _)) = variants.iter().find(|(name, _)| t.is_ident(name)) {
+                    if !referenced.contains(&name.as_str()) {
+                        referenced.push(name);
+                    }
+                }
+            }
+        }
+    }
+    for (name, line) in &variants {
+        if !emitted.contains(&name.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    "T001",
+                    &enum_file,
+                    *line,
+                    1,
+                    format!(
+                        "`{TRACE_EVENT_ENUM}::{name}` is never emitted by the \
+                         scheduler/sim crates — the trace schema has drifted from the \
+                         engine"
+                    ),
+                    "emit the event at the state transition it describes, or delete the \
+                     variant (bumping the trace format notes in EXPERIMENTS.md)"
+                        .to_owned(),
+                )
+                .with_function(name),
+            );
+        }
+        if !referenced.contains(&name.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    "T001",
+                    &enum_file,
+                    *line,
+                    1,
+                    format!(
+                        "`{TRACE_EVENT_ENUM}::{name}` has no reference in the \
+                         check/explain crates — events nobody validates or explains rot \
+                         silently"
+                    ),
+                    "add a checker invariant or an explain-side reader for the variant \
+                     (see crates/check and crates/explain)"
+                        .to_owned(),
+                )
+                .with_function(name),
+            );
         }
     }
 }

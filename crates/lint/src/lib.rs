@@ -6,9 +6,10 @@
 //! outputs are byte-identical at `--jobs 1/2/8` and across re-runs — and
 //! this crate turns that convention into a build failure.
 //!
-//! A self-contained token-level lexer (no external dependencies beyond
-//! the vendored `serde` stubs used for JSON output) walks every
-//! `crates/*/src` file and reports coded diagnostics:
+//! Two layers of analysis run over every `crates/*/src` file:
+//!
+//! **Per-file token checks** (a self-contained lexer, no external
+//! dependencies beyond the vendored `serde` stubs used for JSON output):
 //!
 //! | code | finding |
 //! |------|---------|
@@ -19,11 +20,30 @@
 //! | D005 | RNG construction (`seed_from_u64`) outside `simcore::rng` |
 //! | S001 | crate root missing `#![forbid(unsafe_code)]` |
 //! | L001 | malformed or reasonless suppression directive |
+//! | L002 | unknown lint code in a suppression directive |
+//!
+//! **Workspace call-graph checks** (an item parser and interprocedural
+//! call graph built on the same lexer — see [`parser`], [`callgraph`],
+//! [`taint`]):
+//!
+//! | code | finding |
+//! |------|---------|
+//! | D101–D106 | nondeterminism taint (wall clock, threads, hash iteration, randomized hashers, pointer addresses, env/fs input) reaching a deterministic crate through call edges |
+//! | P001 | panic site (`unwrap`/`expect`/`panic!`/indexing) reachable from a scheduler recovery root |
+//! | T001 | `TraceEventKind` variant never emitted by scheduler/sim or never read by check/explain |
+//! | A001 | allocation reachable from the `resource_offers` hot path |
+//!
+//! Call-graph findings carry a witness `chain` (sink→source or
+//! root→site) in the JSON report; `--explain-chain` prints it in text
+//! mode.
 //!
 //! Each finding is individually suppressible on its line (or from a
 //! standalone comment on the line above) with
 //! `// ssr-lint: allow(CODE, reason = "…")` — a suppression without a
-//! reason is itself an L001 finding.
+//! reason is itself an L001 finding. Larger audited debts live in a
+//! checked-in [`baseline`] file (`lint.baseline` at the workspace root,
+//! auto-loaded) whose entries are keyed `(code, file, function)` with a
+//! count budget and a mandatory reason.
 //!
 //! # Example
 //!
@@ -41,19 +61,36 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod checks;
 pub mod lexer;
+pub mod parser;
 pub mod report;
+pub mod suppress;
+pub mod taint;
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use callgraph::{CallGraph, GraphFile};
+
+pub use baseline::{Baseline, BaselineEntry};
 pub use checks::{
-    lint_source, FileOutcome, Suppression, CODES, DETERMINISTIC_CRATES, RNG_HOME_FILES,
-    THREADING_FILES, TIMING_ONLY_FILES,
+    lint_source, FileOutcome, CODES, DETERMINISTIC_CRATES, RNG_HOME_FILES, THREADING_FILES,
+    TIMING_ONLY_FILES,
 };
 pub use report::{Diagnostic, Report};
+pub use suppress::Suppression;
+
+/// Options for a workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintOptions {
+    /// Explicit baseline file. `None` auto-loads `<root>/lint.baseline`
+    /// when it exists; `Some` is an error if the file is missing.
+    pub baseline_path: Option<PathBuf>,
+}
 
 /// A whole-workspace lint run: the report plus every suppression
 /// directive encountered, for auditing that each carries a reason.
@@ -63,11 +100,23 @@ pub struct WorkspaceOutcome {
     pub report: Report,
     /// `(file, directive)` pairs across the workspace.
     pub suppressions: Vec<(String, Suppression)>,
+    /// Baseline entries that absorbed fewer findings than budgeted —
+    /// debt that has been paid down and should be removed from the file.
+    pub stale_baseline: Vec<String>,
 }
 
-/// Lints every `.rs` file under `<root>/crates/*/src`, in sorted path
-/// order, so the report is identical across runs and platforms.
+/// Lints every `.rs` file under `<root>/crates/*/src` with default
+/// options (auto-loading `<root>/lint.baseline` when present).
 pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceOutcome> {
+    lint_workspace_with(root, &LintOptions::default())
+}
+
+/// Lints the workspace: per-file checks, then the call-graph passes
+/// (taint, panic-path, trace exhaustiveness, hot-path allocation) over
+/// all files together. Files are visited in sorted path order and every
+/// pass is deterministic, so the report is identical across runs and
+/// platforms.
+pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> io::Result<WorkspaceOutcome> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
@@ -84,6 +133,10 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceOutcome> {
     let mut suppressed = 0usize;
     let mut suppressions = Vec::new();
     let files_scanned = files.len();
+
+    // Pass 1: per-file checks, and lex+parse for the graph passes.
+    let mut units: Vec<(String, lexer::Lexed, parser::ParsedFile)> = Vec::new();
+    let mut directives: Vec<Vec<Suppression>> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -96,11 +149,68 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceOutcome> {
         let outcome = lint_source(&rel, &source);
         findings.extend(outcome.findings);
         suppressed += outcome.suppressed;
-        suppressions.extend(outcome.directives.into_iter().map(|d| (rel.clone(), d)));
+        suppressions
+            .extend(outcome.directives.iter().cloned().map(|d| (rel.clone(), d)));
+        directives.push(outcome.directives);
+        let lexed = lexer::lex(&source);
+        let parsed = parser::parse_file(&rel, &lexed);
+        units.push((rel, lexed, parsed));
     }
+
+    // Pass 2: workspace call-graph checks.
+    let graph_files: Vec<GraphFile<'_>> = units
+        .iter()
+        .map(|(rel, lexed, parsed)| GraphFile { rel, lexed, parsed })
+        .collect();
+    let graph = CallGraph::build(&graph_files);
+    let mut ws = Vec::new();
+    taint::check_taint(&graph, &graph_files, &mut ws);
+    checks::check_p001(&graph, &graph_files, &mut ws);
+    checks::check_a001(&graph, &graph_files, &mut ws);
+    checks::check_t001(&graph_files, &mut ws);
+
+    // Workspace findings honour the same line-targeted directives as
+    // per-file ones.
+    for diag in ws {
+        let fidx = units.iter().position(|(rel, _, _)| *rel == diag.file);
+        let silenced = fidx.is_some_and(|i| {
+            directives[i]
+                .iter()
+                .any(|dir| dir.code == diag.code && dir.applies_line == diag.line)
+        });
+        if silenced {
+            suppressed += 1;
+        } else {
+            findings.push(diag);
+        }
+    }
+
+    // Baseline: explicit path, else auto-load `<root>/lint.baseline`.
+    let baseline_path = match &opts.baseline_path {
+        Some(p) => Some(p.clone()),
+        None => {
+            let auto = root.join("lint.baseline");
+            auto.exists().then_some(auto)
+        }
+    };
+    let (findings, baselined, stale_baseline) = match baseline_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p)?;
+            let bl = Baseline::parse(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", p.display()),
+                )
+            })?;
+            bl.apply(findings)
+        }
+        None => (findings, 0, Vec::new()),
+    };
+
     Ok(WorkspaceOutcome {
-        report: Report::new(findings, files_scanned, suppressed),
+        report: Report::new(findings, files_scanned, suppressed, baselined),
         suppressions,
+        stale_baseline,
     })
 }
 
@@ -141,10 +251,15 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 /// binary and the `ssr-cli lint` subcommand.
 ///
 /// Flags: `--root PATH` (default: nearest workspace root), `--format
-/// text|json` (default text). Exits nonzero on any unsuppressed finding.
+/// text|json` (default text), `--baseline PATH` (default:
+/// `<root>/lint.baseline` when present), `--explain-chain` (print
+/// witness call chains in text mode). Exits nonzero on any unsuppressed,
+/// non-baselined finding.
 pub fn run_cli(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = "text".to_owned();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut explain_chain = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -162,16 +277,30 @@ pub fn run_cli(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain-chain" => explain_chain = true,
             "--help" | "-h" => {
                 eprintln!(
                     "ssr-lint — workspace determinism linter\n\
                      \n\
                      usage: ssr-lint [--root PATH] [--format text|json]\n\
+                     \x20               [--baseline PATH] [--explain-chain]\n\
                      \n\
                      Walks crates/*/src and enforces the byte-identical-replay\n\
-                     contract (codes D001-D005, S001, L001; see EXPERIMENTS.md\n\
-                     \"The determinism contract\"). Exits nonzero on any\n\
-                     unsuppressed finding."
+                     contract: per-file checks (D001-D005, S001, L001/L002) plus\n\
+                     interprocedural call-graph audits (D101-D106 nondeterminism\n\
+                     taint, P001 recovery-path panics, T001 trace exhaustiveness,\n\
+                     A001 hot-path allocation; see EXPERIMENTS.md \"The\n\
+                     determinism contract\"). Audited debt lives in\n\
+                     <root>/lint.baseline (auto-loaded; override with\n\
+                     --baseline). Exits nonzero on any unsuppressed,\n\
+                     non-baselined finding."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -200,7 +329,8 @@ pub fn run_cli(args: &[String]) -> ExitCode {
             }
         }
     };
-    let outcome = match lint_workspace(&root) {
+    let opts = LintOptions { baseline_path };
+    let outcome = match lint_workspace_with(&root, &opts) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -209,7 +339,10 @@ pub fn run_cli(args: &[String]) -> ExitCode {
     };
     match format.as_str() {
         "json" => print!("{}", outcome.report.render_json()),
-        _ => print!("{}", outcome.report.render_text()),
+        _ => print!("{}", outcome.report.render_text(explain_chain)),
+    }
+    for stale in &outcome.stale_baseline {
+        eprintln!("note: stale baseline entry — {stale}");
     }
     if outcome.report.is_clean() {
         ExitCode::SUCCESS

@@ -1,18 +1,26 @@
 //! Diagnostics and report rendering.
 //!
-//! The JSON schema is deliberately small and stable:
+//! The JSON schema is small, stable, and emitted with keys in sorted
+//! order (struct fields are declared alphabetically and the vendored
+//! `serde` serializes in declaration order):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
-//!   "findings": [
-//!     { "code": "D001", "file": "crates/…", "line": 7, "col": 9,
-//!       "message": "…", "hint": "…" }
-//!   ],
+//!   "baselined": 0,
 //!   "files_scanned": 42,
+//!   "findings": [
+//!     { "chain": ["crates/…:12 sink", "crates/…:3 source (source: Instant, line 4)"],
+//!       "code": "D101", "col": 9, "file": "crates/…", "function": "sink",
+//!       "hint": "…", "line": 7, "message": "…" }
+//!   ],
+//!   "schema_version": 2,
 //!   "suppressed": 3
 //! }
 //! ```
+//!
+//! Schema history: v1 had no `chain`/`function`/`baselined` fields and
+//! unsorted keys; v2 (the workspace-analyzer release) added them and
+//! pinned the key order.
 //!
 //! Findings are sorted by `(file, line, col, code)` and serialization
 //! goes through the vendored `serde_json`, so two runs over the same
@@ -20,25 +28,39 @@
 
 use serde::Serialize;
 
+/// The JSON schema version emitted by [`Report::render_json`].
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// One lint finding at a precise source location.
+///
+/// Fields are declared in alphabetical order so the JSON rendering has
+/// sorted keys; keep it that way when adding fields.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Diagnostic {
-    /// The lint code (`D001`…`D005`, `S001`, `L001`).
+    /// For call-graph findings: the witness chain from the flagged
+    /// function to the source/root, one `file:line name` entry per hop.
+    /// Empty for per-file findings.
+    pub chain: Vec<String>,
+    /// The lint code (`D001`…, `D1xx`, `P001`, `T001`, `A001`, `S001`,
+    /// `L001`/`L002`).
     pub code: String,
-    /// Workspace-relative path with forward slashes.
-    pub file: String,
-    /// 1-based line.
-    pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// What is wrong.
-    pub message: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// The enclosing function for call-graph findings; empty for
+    /// per-file findings.
+    pub function: String,
     /// How to fix or justify it.
     pub hint: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
 }
 
 impl Diagnostic {
-    /// Creates a diagnostic.
+    /// Creates a per-file diagnostic (no function/chain context).
     pub fn new(
         code: &str,
         file: &str,
@@ -47,31 +69,65 @@ impl Diagnostic {
         message: String,
         hint: String,
     ) -> Self {
-        Diagnostic { code: code.to_owned(), file: file.to_owned(), line, col, message, hint }
+        Diagnostic {
+            chain: Vec::new(),
+            code: code.to_owned(),
+            col,
+            file: file.to_owned(),
+            function: String::new(),
+            hint,
+            line,
+            message,
+        }
+    }
+
+    /// Attaches the enclosing function name.
+    #[must_use]
+    pub fn with_function(mut self, function: &str) -> Self {
+        self.function = function.to_owned();
+        self
+    }
+
+    /// Attaches a witness call chain.
+    #[must_use]
+    pub fn with_chain(mut self, chain: Vec<String>) -> Self {
+        self.chain = chain;
+        self
     }
 }
 
 /// A whole-workspace lint report.
+///
+/// Fields are declared in alphabetical order so the JSON rendering has
+/// sorted keys; keep it that way when adding fields.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Report {
-    /// Bumped only on breaking JSON layout changes.
-    pub schema_version: u32,
-    /// Unsuppressed findings, sorted by `(file, line, col, code)`.
-    pub findings: Vec<Diagnostic>,
+    /// Findings absorbed by the checked-in baseline.
+    pub baselined: usize,
     /// Number of `.rs` files visited.
     pub files_scanned: usize,
+    /// Unsuppressed, non-baselined findings, sorted by
+    /// `(file, line, col, code)`.
+    pub findings: Vec<Diagnostic>,
+    /// Bumped only on breaking JSON layout changes.
+    pub schema_version: u32,
     /// Findings silenced by `allow` directives.
     pub suppressed: usize,
 }
 
 impl Report {
     /// Creates a report, sorting `findings` into canonical order.
-    pub fn new(mut findings: Vec<Diagnostic>, files_scanned: usize, suppressed: usize) -> Self {
+    pub fn new(
+        mut findings: Vec<Diagnostic>,
+        files_scanned: usize,
+        suppressed: usize,
+        baselined: usize,
+    ) -> Self {
         findings.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.col, a.code.as_str())
                 .cmp(&(b.file.as_str(), b.line, b.col, b.code.as_str()))
         });
-        Report { schema_version: 1, findings, files_scanned, suppressed }
+        Report { baselined, files_scanned, findings, schema_version: SCHEMA_VERSION, suppressed }
     }
 
     /// `true` when the workspace honours the determinism contract.
@@ -79,22 +135,57 @@ impl Report {
         self.findings.is_empty()
     }
 
+    /// Per-code counts over findings and baselined-or-not: the one-line
+    /// `CODE=found` summary CI greps. Only codes that occur appear.
+    fn per_code_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for d in &self.findings {
+            match counts.iter_mut().find(|(c, _)| c == &d.code) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((d.code.clone(), 1)),
+            }
+        }
+        counts.sort();
+        counts
+    }
+
     /// Human-readable rendering: one `file:line:col: CODE message` block
-    /// per finding plus a summary line.
-    pub fn render_text(&self) -> String {
+    /// per finding plus a summary line. With `explain_chains`, findings
+    /// that carry a witness chain print it one hop per line.
+    pub fn render_text(&self, explain_chains: bool) -> String {
         let mut out = String::new();
         for d in &self.findings {
+            let in_fn = if d.function.is_empty() {
+                String::new()
+            } else {
+                format!(" (in `{}`)", d.function)
+            };
             out.push_str(&format!(
-                "{}:{}:{}: {} {}\n  hint: {}\n",
-                d.file, d.line, d.col, d.code, d.message, d.hint
+                "{}:{}:{}: {}{} {}\n  hint: {}\n",
+                d.file, d.line, d.col, d.code, in_fn, d.message, d.hint
             ));
+            if explain_chains && !d.chain.is_empty() {
+                out.push_str("  chain:\n");
+                for hop in &d.chain {
+                    out.push_str(&format!("    -> {hop}\n"));
+                }
+            }
         }
         out.push_str(&format!(
-            "ssr-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            "ssr-lint: {} finding(s), {} baselined, {} suppressed, {} file(s) scanned\n",
             self.findings.len(),
+            self.baselined,
             self.suppressed,
             self.files_scanned
         ));
+        let counts = self.per_code_counts();
+        if counts.is_empty() {
+            out.push_str("per-code: none\n");
+        } else {
+            let parts: Vec<String> =
+                counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
+            out.push_str(&format!("per-code: {}\n", parts.join(" ")));
+        }
         out
     }
 

@@ -1,0 +1,131 @@
+//! Reasoned-suppression directives, shared by every check family.
+//!
+//! One module owns the `// ssr-lint: allow(CODE, reason = "…")` grammar
+//! so the per-file passes (D0xx/S001) and the workspace call-graph
+//! passes (D1xx/P001/T001/A001) silence findings identically: a trailing
+//! comment governs its own line, a standalone comment governs the next
+//! line, and every directive must carry a reason.
+//!
+//! Two lint codes belong to the directive machinery itself:
+//!
+//! * **L001** — malformed or reasonless directive;
+//! * **L002** — unknown CODE in a directive. Before v2 this silently
+//!   matched nothing, which is the worst failure mode a suppression
+//!   system can have: the author believes a finding is excused while the
+//!   linter believes no such code exists. It is now a hard error.
+
+use crate::checks::CODES;
+use crate::lexer::Lexed;
+use crate::report::Diagnostic;
+
+/// One parsed `// ssr-lint: allow(CODE, reason = "…")` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The lint code being silenced.
+    pub code: String,
+    /// The justification, if given (`None` is itself an L001 finding).
+    pub reason: Option<String>,
+    /// The line whose findings this directive silences: its own line for
+    /// a trailing comment, the next line for a standalone comment.
+    pub applies_line: u32,
+    /// The line the directive comment sits on.
+    pub line: u32,
+}
+
+/// Extracts directives from line comments; malformed or reasonless
+/// directives produce L001 findings, unknown codes produce L002.
+pub fn parse_directives(rel: &str, lexed: &Lexed) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut directives = Vec::new();
+    let mut diags = Vec::new();
+    for comment in &lexed.comments {
+        // Directives live in plain `//` comments only; doc comments may
+        // *describe* the syntax without being directives.
+        if comment.text.starts_with("///") || comment.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = comment.text.find("ssr-lint:") else { continue };
+        let rest = comment.text[at + "ssr-lint:".len()..].trim();
+        let applies_line = if comment.own_line { comment.line + 1 } else { comment.line };
+        match parse_allow(rest) {
+            Ok((code, reason)) => {
+                if !CODES.contains(&code.as_str()) {
+                    diags.push(Diagnostic::new(
+                        "L002",
+                        rel,
+                        comment.line,
+                        comment.col,
+                        format!(
+                            "unknown lint code `{code}` in ssr-lint directive — the \
+                             suppression silences nothing"
+                        ),
+                        format!("known codes: {}", CODES.join(", ")),
+                    ));
+                    continue;
+                }
+                if reason.is_none() {
+                    diags.push(Diagnostic::new(
+                        "L001",
+                        rel,
+                        comment.line,
+                        comment.col,
+                        format!("suppression of {code} without a reason"),
+                        format!(
+                            "write `// ssr-lint: allow({code}, reason = \"why this is \
+                             deterministic\")` — every exception to the replay contract \
+                             must carry its justification"
+                        ),
+                    ));
+                }
+                directives.push(Suppression { code, reason, applies_line, line: comment.line });
+            }
+            Err(why) => {
+                diags.push(Diagnostic::new(
+                    "L001",
+                    rel,
+                    comment.line,
+                    comment.col,
+                    format!("malformed ssr-lint directive: {why}"),
+                    "expected `// ssr-lint: allow(CODE, reason = \"…\")`".to_owned(),
+                ));
+            }
+        }
+    }
+    (directives, diags)
+}
+
+/// Parses `allow(CODE)` / `allow(CODE, reason = "…")`.
+fn parse_allow(text: &str) -> Result<(String, Option<String>), String> {
+    let rest = text
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(...)`".to_owned())?
+        .trim_start();
+    let rest = rest.strip_prefix('(').ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = rest.rfind(')').ok_or_else(|| "missing closing `)`".to_owned())?;
+    let inner = &rest[..close];
+    let mut parts = inner.splitn(2, ',');
+    let code = parts.next().unwrap_or("").trim().to_owned();
+    if code.is_empty() {
+        return Err("missing lint code".to_owned());
+    }
+    let reason = match parts.next() {
+        None => None,
+        Some(arg) => {
+            let arg = arg.trim();
+            let value = arg
+                .strip_prefix("reason")
+                .map(str::trim_start)
+                .and_then(|a| a.strip_prefix('='))
+                .map(str::trim)
+                .ok_or_else(|| "expected `reason = \"…\"`".to_owned())?;
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| "reason must be a double-quoted string".to_owned())?;
+            if value.trim().is_empty() {
+                return Err("reason must not be empty".to_owned());
+            }
+            Some(value.to_owned())
+        }
+    };
+    Ok((code, reason))
+}

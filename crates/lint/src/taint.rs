@@ -1,0 +1,316 @@
+//! Interprocedural nondeterminism-taint propagation (the `D1xx` family).
+//!
+//! Sources of nondeterminism — wall-clock reads, thread spawns,
+//! hash-collection iteration, `RandomState` construction,
+//! pointer-address inspection, and environment/filesystem input — taint
+//! the function containing them; taint then propagates backwards along
+//! call edges. A function in a [`DETERMINISTIC_CRATES`] crate that can
+//! reach a source is a finding, and the diagnostic carries the full
+//! sink→source call chain.
+//!
+//! Two refinements keep the reports actionable:
+//!
+//! * **Frontier flagging** — only the *last* deterministic-crate
+//!   function on a witness chain is flagged, so one leaky utility does
+//!   not light up every transitive caller.
+//! * **Sanctioned boundaries** — functions defined in the timing,
+//!   threading and RNG allowlist files ([`TIMING_ONLY_FILES`],
+//!   [`THREADING_FILES`], [`RNG_HOME_FILES`]) are neither sources nor
+//!   propagators: `walltime::Stopwatch` may read `Instant` without
+//!   tainting every caller of `--timing` instrumentation.
+//!
+//! `D101`–`D103` duplicate ground the per-file lints already cover
+//! (D002/D003/D001), so they require at least one call hop; `D104`–`D106`
+//! have no per-file counterpart and also fire at distance zero.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CallGraph, GraphFile};
+use crate::checks::{
+    hash_iter_sites, HashIterSite, DETERMINISTIC_CRATES, RNG_HOME_FILES, THREADING_FILES,
+    TIMING_ONLY_FILES,
+};
+use crate::lexer::Tok;
+use crate::report::Diagnostic;
+
+/// One taint category.
+struct Category {
+    code: &'static str,
+    /// Minimum call hops before a finding fires (see module docs).
+    min_hops: u32,
+    /// Human phrase for the source kind.
+    what: &'static str,
+}
+
+const CATEGORIES: &[Category] = &[
+    Category { code: "D101", min_hops: 1, what: "a wall-clock read" },
+    Category { code: "D102", min_hops: 1, what: "thread/channel machinery" },
+    Category { code: "D103", min_hops: 1, what: "hash-collection iteration" },
+    Category { code: "D104", min_hops: 0, what: "a randomized hasher" },
+    Category { code: "D105", min_hops: 0, what: "pointer-address inspection" },
+    Category { code: "D106", min_hops: 0, what: "environment/filesystem input" },
+];
+
+/// A detected source occurrence inside one function.
+#[derive(Debug, Clone)]
+struct Source {
+    line: u32,
+    col: u32,
+    detail: String,
+}
+
+/// Runs every taint category over the call graph, appending findings.
+pub fn check_taint(graph: &CallGraph, files: &[GraphFile<'_>], out: &mut Vec<Diagnostic>) {
+    let sanctioned: BTreeSet<&str> = TIMING_ONLY_FILES
+        .iter()
+        .chain(THREADING_FILES)
+        .chain(RNG_HOME_FILES)
+        .copied()
+        .collect();
+    // Hash-iteration sites are file-scoped (taint names are collected
+    // per file); compute once.
+    let hash_sites: Vec<Vec<HashIterSite>> =
+        files.iter().map(|f| hash_iter_sites(f.lexed)).collect();
+
+    for cat in CATEGORIES {
+        let mut sources: BTreeMap<usize, Source> = BTreeMap::new();
+        for (idx, node) in graph.fns.iter().enumerate() {
+            if sanctioned.contains(node.file.as_str()) {
+                continue;
+            }
+            let Some((open, close)) = node.body else { continue };
+            let tokens = &files[node.file_idx].lexed.tokens;
+            let nested = graph.nested_bodies(idx);
+            let in_nested = |k: usize| nested.iter().any(|&(o, c)| o <= k && k <= c);
+            let found = match cat.code {
+                "D101" => find_tokens(tokens, open, close, &in_nested, |t, k| {
+                    (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                        .then(|| (k, t.text.clone()))
+                }),
+                "D102" => find_tokens(tokens, open, close, &in_nested, |t, k| {
+                    thread_source(tokens, t, k).map(|d| (k, d))
+                }),
+                "D103" => hash_sites[node.file_idx]
+                    .iter()
+                    .find(|s| s.idx > open && s.idx < close && !in_nested(s.idx))
+                    .map(|s| (s.idx, s.desc())),
+                "D104" => find_tokens(tokens, open, close, &in_nested, |t, k| {
+                    (t.is_ident("RandomState") || t.is_ident("DefaultHasher"))
+                        .then(|| (k, t.text.clone()))
+                }),
+                "D105" => find_tokens(tokens, open, close, &in_nested, |t, k| {
+                    ptr_source(tokens, t, k).map(|d| (k, d))
+                }),
+                "D106" => find_tokens(tokens, open, close, &in_nested, |t, k| {
+                    env_io_source(tokens, t, k).map(|d| (k, d))
+                }),
+                _ => None,
+            };
+            if let Some((k, detail)) = found {
+                sources.insert(
+                    idx,
+                    Source { line: tokens[k].line, col: tokens[k].col, detail },
+                );
+            }
+        }
+        propagate(graph, cat, &sources, &sanctioned, out);
+    }
+}
+
+/// Scans `(open, close)` for the first token the predicate accepts.
+fn find_tokens(
+    tokens: &[Tok],
+    open: usize,
+    close: usize,
+    in_nested: &dyn Fn(usize) -> bool,
+    pred: impl Fn(&Tok, usize) -> Option<(usize, String)>,
+) -> Option<(usize, String)> {
+    (open + 1..close).find_map(|k| {
+        if in_nested(k) {
+            return None;
+        }
+        pred(&tokens[k], k)
+    })
+}
+
+/// `std::thread`, `thread::spawn`/`scope`, or `mpsc` (mirrors D003).
+fn thread_source(tokens: &[Tok], t: &Tok, k: usize) -> Option<String> {
+    if t.is_ident("thread") {
+        (k >= 2 && tokens[k - 1].is_punct("::") && tokens[k - 2].is_ident("std"))
+            .then(|| "std::thread".to_owned())
+    } else if t.is_ident("spawn") || t.is_ident("scope") {
+        (k >= 2 && tokens[k - 1].is_punct("::") && tokens[k - 2].is_ident("thread"))
+            .then(|| format!("thread::{}", t.text))
+    } else {
+        t.is_ident("mpsc").then(|| "mpsc".to_owned())
+    }
+}
+
+/// `.as_ptr()` or an `as *const`/`as *mut` cast — the only way a
+/// pointer's *address* (an ASLR artifact) can reach output, since
+/// format-string contents are opaque to the lexer.
+fn ptr_source(tokens: &[Tok], t: &Tok, k: usize) -> Option<String> {
+    if t.is_ident("as_ptr") && k >= 1 && tokens[k - 1].is_punct(".") {
+        return Some("as_ptr".to_owned());
+    }
+    if t.is_ident("as")
+        && tokens.get(k + 1).is_some_and(|n| n.is_punct("*"))
+        && tokens
+            .get(k + 2)
+            .is_some_and(|n| n.is_ident("const") || n.is_ident("mut"))
+    {
+        return Some(format!("as *{}", tokens[k + 2].text));
+    }
+    None
+}
+
+/// Environment and filesystem reads: ambient process state that varies
+/// between hosts and runs.
+fn env_io_source(tokens: &[Tok], t: &Tok, k: usize) -> Option<String> {
+    let after = |base: &str| {
+        k >= 2 && tokens[k - 1].is_punct("::") && tokens[k - 2].is_ident(base)
+    };
+    match t.text.as_str() {
+        "var" | "var_os" | "vars" | "args" | "args_os" if after("env") => {
+            Some(format!("env::{}", t.text))
+        }
+        "read" | "read_to_string" | "read_dir" | "metadata" | "canonicalize"
+            if after("fs") =>
+        {
+            Some(format!("fs::{}", t.text))
+        }
+        "open" if after("File") => Some("File::open".to_owned()),
+        "stdin" => Some("stdin".to_owned()),
+        _ => None,
+    }
+}
+
+/// Reverse-BFS taint propagation plus frontier flagging for one
+/// category.
+fn propagate(
+    graph: &CallGraph,
+    cat: &Category,
+    sources: &BTreeMap<usize, Source>,
+    sanctioned: &BTreeSet<&str>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut dist: BTreeMap<usize, u32> = BTreeMap::new();
+    // Next hop toward the source plus the call site that reaches it.
+    let mut via: BTreeMap<usize, (usize, u32, u32)> = BTreeMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for &idx in sources.keys() {
+        dist.insert(idx, 0);
+        queue.push(idx);
+    }
+    let mut head = 0usize;
+    while head < queue.len() {
+        let cur = queue[head];
+        head += 1;
+        let d = dist[&cur];
+        for &caller in &graph.callers[cur] {
+            if dist.contains_key(&caller) {
+                continue;
+            }
+            if sanctioned.contains(graph.fns[caller].file.as_str()) {
+                continue; // boundary: trusted to sanitize
+            }
+            let site = graph.calls[caller]
+                .iter()
+                .find(|s| s.callee == cur)
+                .copied()
+                .expect("reverse edge has a forward call site");
+            dist.insert(caller, d + 1);
+            via.insert(caller, (cur, site.line, site.col));
+            queue.push(caller);
+        }
+    }
+
+    // `queue` is in ascending-distance order; flag the taint frontier.
+    let mut path_flagged: BTreeSet<usize> = BTreeSet::new();
+    for &f in &queue {
+        let node = &graph.fns[f];
+        let d = dist[&f];
+        let det = DETERMINISTIC_CRATES.contains(&node.krate.as_str());
+        let inherited = via.get(&f).is_some_and(|(g, _, _)| path_flagged.contains(g));
+        let flag = det && !inherited && d >= cat.min_hops;
+        if flag || inherited {
+            path_flagged.insert(f);
+        }
+        if !flag {
+            continue;
+        }
+        if d == 0 {
+            let src = &sources[&f];
+            out.push(
+                Diagnostic::new(
+                    cat.code,
+                    &node.file,
+                    src.line,
+                    src.col,
+                    format!(
+                        "`{}` uses {} (`{}`) in deterministic-path crate `{}` — replay \
+                         is no longer a pure function of the seed",
+                        node.name, cat.what, src.detail, node.krate
+                    ),
+                    taint_hint(cat.code),
+                )
+                .with_function(&node.name)
+                .with_chain(vec![format!(
+                    "{}:{} {} (source: {}, line {})",
+                    node.file, node.line, node.name, src.detail, src.line
+                )]),
+            );
+            continue;
+        }
+        // Walk the witness chain sink -> source.
+        let mut chain_idx = vec![f];
+        let mut cur = f;
+        while let Some(&(next, _, _)) = via.get(&cur) {
+            chain_idx.push(next);
+            cur = next;
+        }
+        let src_fn = &graph.fns[cur];
+        let src = &sources[&cur];
+        let chain: Vec<String> = chain_idx
+            .iter()
+            .enumerate()
+            .map(|(i, &ci)| {
+                let n = &graph.fns[ci];
+                if i + 1 == chain_idx.len() {
+                    format!(
+                        "{}:{} {} (source: {}, line {})",
+                        n.file, n.line, n.name, src.detail, src.line
+                    )
+                } else {
+                    format!("{}:{} {}", n.file, n.line, n.name)
+                }
+            })
+            .collect();
+        let (_, line, col) = via[&f];
+        out.push(
+            Diagnostic::new(
+                cat.code,
+                &node.file,
+                line,
+                col,
+                format!(
+                    "`{}` reaches {} (`{}` in `{}`) {} call hop(s) away — nondeterminism \
+                     leaks into deterministic-path crate `{}`",
+                    node.name, cat.what, src.detail, src_fn.name, d, node.krate
+                ),
+                taint_hint(cat.code),
+            )
+            .with_function(&node.name)
+            .with_chain(chain),
+        );
+    }
+}
+
+fn taint_hint(code: &str) -> String {
+    format!(
+        "break the chain at this call or route it through a sanctioned module \
+         (walltime/runner/rng); the full sink→source path is in the `chain` field \
+         (`--explain-chain` prints it); if provably harmless, annotate the flagged \
+         line with `// ssr-lint: allow({code}, reason = \"…\")`"
+    )
+}

@@ -1,0 +1,13 @@
+//! Fixture: a panic site one call away from a recovery root, used by the
+//! baseline round-trip test.
+#![forbid(unsafe_code)]
+
+/// Recovery root (named like the engine's fault entry point).
+pub fn fail_slots(failed: &[u32]) -> u32 {
+    first_failed(failed)
+}
+
+/// Reachable helper with an indexing panic.
+fn first_failed(failed: &[u32]) -> u32 {
+    failed[0]
+}

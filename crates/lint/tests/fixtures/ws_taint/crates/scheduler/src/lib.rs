@@ -1,0 +1,15 @@
+//! Fixture: a deterministic-path crate that reaches the wall clock only
+//! through a two-hop call chain into `ssr_util`. The D101 frontier rule
+//! flags `stamp` (the last deterministic function on the witness path)
+//! and leaves `advance` alone.
+#![forbid(unsafe_code)]
+
+/// The flagged frontier: calls into the utility crate.
+fn stamp() -> u64 {
+    ssr_util::wrapped_nanos()
+}
+
+/// Transitive caller — inherits the taint but is not separately flagged.
+pub fn advance() -> u64 {
+    stamp() + 1
+}

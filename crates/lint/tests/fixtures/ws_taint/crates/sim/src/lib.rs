@@ -1,0 +1,11 @@
+//! Fixture: a deterministic-path crate whose only clock access goes
+//! through the sanctioned `walltime` module — no finding, because the
+//! allowlisted file is neither a source nor a propagator.
+#![forbid(unsafe_code)]
+
+mod walltime;
+
+/// Calls the clock only through the sanctioned boundary.
+pub fn run() -> u64 {
+    walltime::stamp_nanos()
+}

@@ -1,0 +1,8 @@
+//! Fixture: the sanctioned timing module — same workspace-relative path
+//! as the real one, so it sits on the `TIMING_ONLY_FILES` allowlist and
+//! acts as a taint barrier.
+
+/// Reads the wall clock inside the sanctioned boundary.
+pub fn stamp_nanos() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

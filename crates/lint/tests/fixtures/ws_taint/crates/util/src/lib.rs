@@ -1,0 +1,16 @@
+//! Fixture: a nondeterminism source buried in a utility crate, two call
+//! hops from the deterministic sink. `util` is not a deterministic-path
+//! crate, so nothing here is flagged — but taint flows through it.
+#![forbid(unsafe_code)]
+
+/// Reads the wall clock — the taint source.
+pub fn raw_nanos() -> u64 {
+    // ssr-lint: allow(D002, reason = "fixture: the deliberate wall-clock source")
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// One hop of indirection inside the non-deterministic crate.
+pub fn wrapped_nanos() -> u64 {
+    raw_nanos()
+}

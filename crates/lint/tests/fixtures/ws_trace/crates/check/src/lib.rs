@@ -1,0 +1,9 @@
+//! Fixture: the reader side of the trace schema.
+#![forbid(unsafe_code)]
+
+use ssr_trace::TraceEventKind;
+
+/// Consumes the covered and ghost events.
+pub fn validate(kind: &TraceEventKind) -> bool {
+    matches!(kind, TraceEventKind::Covered | TraceEventKind::Ghost)
+}

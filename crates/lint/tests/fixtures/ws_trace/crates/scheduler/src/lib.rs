@@ -1,0 +1,10 @@
+//! Fixture: the emitter side of the trace schema.
+#![forbid(unsafe_code)]
+
+use ssr_trace::TraceEventKind;
+
+/// Emits the covered and unread events.
+pub fn emit_all(sink: &mut Vec<TraceEventKind>) {
+    sink.push(TraceEventKind::Covered);
+    sink.push(TraceEventKind::Unread);
+}

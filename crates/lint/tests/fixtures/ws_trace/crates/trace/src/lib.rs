@@ -1,0 +1,13 @@
+//! Fixture: the trace event schema with one fully-covered variant, one
+//! variant nobody emits, and one variant nobody reads.
+#![forbid(unsafe_code)]
+
+/// Event kinds.
+pub enum TraceEventKind {
+    /// Emitted by the scheduler and read by the checker — clean.
+    Covered,
+    /// Read by the checker but never emitted.
+    Ghost,
+    /// Emitted by the scheduler but never read.
+    Unread,
+}

@@ -133,12 +133,21 @@ fn l001_fires_on_reasonless_allow_but_still_suppresses() {
 }
 
 #[test]
-fn l001_fires_on_unknown_code_and_malformed_directives() {
+fn l002_fires_on_unknown_code_and_the_directive_is_inert() {
+    // Pre-v2 this was an L001; it now has its own code because the
+    // failure mode is distinct: the author thinks a finding is excused
+    // while the linter knows no such code.
     let out = lint_source(
         "crates/dag/src/fixture.rs",
         "// ssr-lint: allow(D999, reason = \"no such code\")\npub fn f() {}\n",
     );
-    assert_eq!(codes(&out), ["L001"]);
+    assert_eq!(codes(&out), ["L002"], "got {:?}", out.findings);
+    assert!(out.findings[0].hint.contains("known codes"));
+    assert!(out.directives.is_empty(), "an unknown-code directive must not suppress");
+}
+
+#[test]
+fn l001_fires_on_malformed_directives() {
     let out = lint_source(
         "crates/dag/src/fixture.rs",
         "// ssr-lint: deny(D001)\npub fn f() {}\n",

@@ -13,13 +13,37 @@ fn workspace_root() -> std::path::PathBuf {
 
 #[test]
 fn workspace_has_no_unsuppressed_findings() {
+    // `lint_workspace` auto-loads `<root>/lint.baseline`, so this gate
+    // means: zero findings beyond the audited, reasoned ledger.
     let outcome = lint_workspace(&workspace_root()).expect("workspace lints");
     assert!(
         outcome.report.is_clean(),
         "determinism contract violated:\n{}",
-        outcome.report.render_text()
+        outcome.report.render_text(true)
     );
     assert!(outcome.report.files_scanned > 0);
+}
+
+#[test]
+fn baseline_has_no_stale_entries() {
+    // Paid-down debt must leave the ledger: every baseline entry's
+    // budget is fully consumed by current findings.
+    let outcome = lint_workspace(&workspace_root()).expect("workspace lints");
+    assert!(
+        outcome.stale_baseline.is_empty(),
+        "stale lint.baseline entries (remove or tighten them):\n{}",
+        outcome.stale_baseline.join("\n")
+    );
+}
+
+#[test]
+fn baseline_file_round_trips() {
+    let text = std::fs::read_to_string(workspace_root().join("lint.baseline"))
+        .expect("lint.baseline is checked in");
+    let parsed = ssr_lint::Baseline::parse(&text).expect("baseline parses");
+    assert!(!parsed.entries.is_empty(), "ledger should not be empty while debt remains");
+    let reparsed = ssr_lint::Baseline::parse(&parsed.render()).expect("render round-trips");
+    assert_eq!(parsed, reparsed);
 }
 
 #[test]

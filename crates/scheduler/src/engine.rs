@@ -681,12 +681,9 @@ impl TaskScheduler {
                 if ongoing == 0 || fitting < ongoing || budget < ongoing {
                     continue;
                 }
-                let candidates = tsm.copy_candidates();
-                let take = candidates.len().min(budget);
-                for &partition in candidates.iter().take(take) {
-                    plans.push((tsm.stage(), partition));
-                }
-                budget -= take;
+                let before = plans.len();
+                plans.extend(tsm.copy_candidate_iter().take(budget).map(|p| (tsm.stage(), p)));
+                budget -= plans.len() - before;
             }
             for &(stage, partition) in &plans {
                 let demand = self
@@ -756,7 +753,7 @@ impl TaskScheduler {
                 else {
                     continue;
                 };
-                for partition in tsm.copy_candidates() {
+                for partition in tsm.copy_candidate_iter() {
                     let Some((instance, running_slot)) = tsm.sole_running_instance(partition)
                     else {
                         continue;
@@ -1133,15 +1130,22 @@ impl TaskScheduler {
             if kill_running {
                 if let Some(ri) = self.running.remove(&slot) {
                     let task = ri.instance.task;
-                    self.slots.finish(slot).expect("tracked instance is running");
+                    // Invariant: a slot in `self.running` is Busy in the
+                    // pool and its instance belongs to a registered
+                    // job/stage. A violation would be internal index
+                    // corruption — a fault event must not escalate it
+                    // into a panic, so release builds degrade to
+                    // skipping the broken bookkeeping (P001).
+                    let freed = self.slots.finish(slot);
+                    debug_assert!(freed.is_ok(), "tracked instance occupies a busy slot");
                     self.dec_running(task.job);
-                    let requeued = self
+                    let taskset = self
                         .jobs
                         .get_mut(task.job)
-                        .expect("job exists")
-                        .taskset_mut(task.stage)
-                        .expect("stage has a task set")
-                        .instance_crashed(ri.instance);
+                        .and_then(|job| job.taskset_mut(task.stage));
+                    debug_assert!(taskset.is_some(), "running instance has a task set");
+                    let requeued =
+                        taskset.is_some_and(|ts| ts.instance_crashed(ri.instance));
                     // Pending sets and running counts changed: the cached
                     // job snapshots are stale.
                     self.snapshots_dirty = true;

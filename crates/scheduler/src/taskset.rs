@@ -201,12 +201,20 @@ impl TaskSetManager {
     /// Partitions that are running and have exactly one live instance (no
     /// copy yet) — the candidates for straggler copies (§IV-C).
     pub fn copy_candidates(&self) -> Vec<u32> {
+        self.copy_candidate_iter().collect()
+    }
+
+    /// Iterator form of [`copy_candidates`], in ascending partition
+    /// order — the offer-round paths use this to stay allocation-free
+    /// (A001).
+    ///
+    /// [`copy_candidates`]: TaskSetManager::copy_candidates
+    pub fn copy_candidate_iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.partitions
             .iter()
             .enumerate()
             .filter(|(_, p)| !p.finished && p.running.len() == 1)
             .map(|(i, _)| i as u32)
-            .collect()
     }
 
     /// Partitions with at least one live instance and no finish yet.
@@ -288,13 +296,20 @@ impl TaskSetManager {
     /// never be confused with the relaunch). Returns `true` when the
     /// partition was re-queued.
     ///
-    /// # Panics
+    /// Unlike [`instance_killed`] — whose callers hold a kill list that
+    /// came from this very set — crashes arrive from fault injection,
+    /// so an instance this set is not tracking is ignored (returns
+    /// `false`) rather than escalating the fault into a scheduler panic
+    /// (P001).
     ///
-    /// Panics if the instance is not currently running in this set.
+    /// [`instance_killed`]: TaskSetManager::instance_killed
     pub fn instance_crashed(&mut self, instance: TaskInstance) -> bool {
-        self.instance_killed(instance);
         let partition = instance.task.partition;
-        let p = &self.partitions[partition as usize];
+        let Some(p) = self.partitions.get_mut(partition as usize) else { return false };
+        let Some(idx) = p.running.iter().position(|(i, _)| *i == instance) else {
+            return false;
+        };
+        p.running.swap_remove(idx);
         if !p.finished && p.running.is_empty() {
             self.pending.push(partition);
             true
@@ -438,6 +453,26 @@ mod tests {
         let outcome = t.instance_finished(original);
         assert!(outcome.first_finish);
         assert!(outcome.losers.is_empty());
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn crash_of_untracked_instance_is_ignored() {
+        // A fault event naming an instance this set is not tracking (a
+        // stale attempt, or a partition out of range) must be a no-op,
+        // not a panic: crashes originate outside the scheduler's own
+        // bookkeeping. Before the P001 audit this panicked.
+        let mut t = tsm(1);
+        let original = t.launch_next(SlotId::new(0)).unwrap();
+        let stale = TaskInstance { task: original.task, attempt: original.attempt + 7 };
+        assert!(!t.instance_crashed(stale), "stale attempt ignored");
+        let out_of_range = TaskInstance {
+            task: TaskId::new(JobId::new(1), StageId::new(0), 99),
+            attempt: 0,
+        };
+        assert!(!t.instance_crashed(out_of_range), "unknown partition ignored");
+        // The tracked instance is untouched by the ignored crashes.
+        assert!(t.instance_finished(original).first_finish);
         assert!(t.is_complete());
     }
 
