@@ -73,4 +73,32 @@ cmp "$trace_dir/explore1.json" "$trace_dir/explore2.json"
 grep -q '"states": 91' "$trace_dir/explore1.json"
 grep -q '"clean": true' "$trace_dir/explore1.json"
 
+echo "==> counters smoke (byte-stable, worker-count-invariant, run-invisible)"
+# The counter plane is deterministic: same seed => same bytes, at any
+# worker count, and reporting it must not move a byte of the run output.
+for i in 1 2; do
+  ./target/release/figures --counters "$trace_dir/figcounters$i.json" > /dev/null
+done
+cmp "$trace_dir/figcounters1.json" "$trace_dir/figcounters2.json"
+grep -q '"offer_rounds"' "$trace_dir/figcounters1.json"
+run_counted() {
+  ./target/release/ssr-cli run --cluster 2x2 --policy ssr --seed 7 \
+    --fg "pipeline:phases=3,par=4,prio=10" --bg "maponly:tasks=16,secs=10" "$@"
+}
+run_counted --json > "$trace_dir/plain.json"
+run_counted --json --counters > "$trace_dir/counted.json"
+head -n "$(wc -l < "$trace_dir/plain.json")" "$trace_dir/counted.json" \
+  > "$trace_dir/counted-head.json"
+cmp "$trace_dir/plain.json" "$trace_dir/counted-head.json"
+run_counted --json --counters --jobs 1 > "$trace_dir/counters-j1.json"
+run_counted --json --counters --jobs 8 > "$trace_dir/counters-j8.json"
+cmp "$trace_dir/counters-j1.json" "$trace_dir/counters-j8.json"
+grep -q '"tasks_assigned"' "$trace_dir/counters-j1.json"
+
+echo "==> bench regression gate (offer_round rows vs BENCH_scheduler.json, +/-20%)"
+CRITERION_OUTPUT_JSON="$trace_dir/bench-now.json" \
+  cargo bench -q -p ssr-bench --bench scheduler --offline > /dev/null
+./target/release/ssr-cli bench diff BENCH_scheduler.json "$trace_dir/bench-now.json" \
+  --threshold 20 --only offer_round
+
 echo "==> ci.sh: all green"

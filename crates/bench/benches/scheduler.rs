@@ -25,6 +25,12 @@ use ssr_simcore::{SimDuration, SimTime};
 /// cluster, and the paper's 1000-node / 4000-slot simulator.
 const SCALES: [u32; 3] = [100, 1000, 4000];
 
+/// Extra offer-round scales beyond the paper's simulator, exercising the
+/// index and scratch-reuse paths well past their design point. Only the
+/// single-round benchmark runs these — the saturated re-offer and
+/// full-sim benchmarks stay at the tracked scales.
+const OFFER_ROUND_EXTRA_SCALES: [u32; 2] = [20_000, 50_000];
+
 fn backlogged_scheduler(slots: u32) -> TaskScheduler {
     let mut sched = TaskScheduler::new(
         ClusterSpec::with_racks(slots / 4, 4, 20).expect("valid"),
@@ -45,7 +51,7 @@ fn backlogged_scheduler(slots: u32) -> TaskScheduler {
 /// `slots` assignment decisions in a single `resource_offers` call.
 fn bench_offer_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler/offer_round");
-    for &slots in &SCALES {
+    for &slots in SCALES.iter().chain(&OFFER_ROUND_EXTRA_SCALES) {
         group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
             b.iter_batched(
                 || backlogged_scheduler(slots),

@@ -32,6 +32,7 @@ struct Args {
     timing: bool,
     trace: Option<String>,
     explain: Option<String>,
+    counters: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -41,6 +42,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut jobs: Option<usize> = None;
     let mut trace = None;
     let mut explain = None;
+    let mut counters = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -56,18 +58,21 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--explain" => {
                 explain = Some(it.next().ok_or("--explain requires a path")?.to_owned());
             }
+            "--counters" => {
+                counters = Some(it.next().ok_or("--counters requires a path")?.to_owned());
+            }
             other => ids.push(other.to_owned()),
         }
     }
     ssr_sim::runner::set_worker_override(jobs);
-    Ok(Args { ids, list, timing, trace, explain })
+    Ok(Args { ids, list, timing, trace, explain, counters })
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: figures <all | --list | fig-id...> [--jobs N] [--timing] [--trace PATH] [--explain PATH]"
+            "usage: figures <all | --list | fig-id...> [--jobs N] [--timing] [--trace PATH] [--explain PATH] [--counters PATH]"
         );
         eprintln!("known ids: {}", figures::ALL.join(" "));
         return ExitCode::from(2);
@@ -99,6 +104,15 @@ fn main() -> ExitCode {
         // byte-stable per seed, diffed by CI across invocations.
         if let Err(e) = std::fs::write(path, figures::explain_report(11)) {
             eprintln!("cannot write explain report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.counters {
+        // The canonical scenario's deterministic work counters as
+        // sorted-key JSON; byte-stable per seed, diffed by CI across
+        // invocations to pin the whole counter plane.
+        if let Err(e) = std::fs::write(path, figures::counters_report(11)) {
+            eprintln!("cannot write counters report {path}: {e}");
             return ExitCode::FAILURE;
         }
     }

@@ -117,6 +117,40 @@ pub fn explain_report(seed: u64) -> String {
     report.render_text(72)
 }
 
+/// Runs the canonical decision-trace scenario and renders its
+/// deterministic work counters as sorted-key JSON.
+///
+/// Byte-stable for a given seed and worker count-independent —
+/// `figures --counters PATH` writes it to disk and CI diffs two
+/// invocations, pinning the whole counter plane (scheduler increments,
+/// event-queue flow statistics, report harvest, JSON render).
+pub fn counters_report(seed: u64) -> String {
+    use ssr_cluster::ClusterSpec;
+    use ssr_sim::{OrderConfig, PolicyConfig, Simulation};
+    use ssr_simcore::dist::constant;
+    use ssr_simcore::SimTime;
+    use ssr_workload::synthetic::{map_only, pipeline_of};
+
+    let fg = pipeline_of(
+        "fg-pipeline",
+        &[(4, constant(2.0)), (2, constant(6.0)), (1, constant(3.0))],
+        common::FG_PRIORITY,
+        SimTime::from_secs(5),
+    )
+    .expect("valid spec");
+    let bg = map_only("bg-batch", 16, constant(9.0), common::BG_PRIORITY).expect("valid spec");
+    let cluster = ClusterSpec::new(4, 2).expect("valid cluster");
+    let report = Simulation::new(
+        common::cluster_sim(cluster, seed),
+        PolicyConfig::ssr_strict(),
+        OrderConfig::FifoPriority,
+        vec![fg, bg],
+    )
+    .run();
+    assert!(report.completed, "canonical counter scenario must complete");
+    report.counters.render_json()
+}
+
 /// Runs one figure by id and returns its rendered output.
 ///
 /// Returns `None` for an unknown id.
@@ -165,6 +199,44 @@ mod tests {
         }
         assert!(a.contains("conserves gap: yes"), "decomposition must conserve");
         assert!(!a.contains("conserves gap: NO"));
+    }
+
+    #[test]
+    fn counters_report_is_reproducible_and_trace_independent() {
+        let a = super::counters_report(11);
+        let b = super::counters_report(11);
+        assert_eq!(a, b, "same-seed counter reports must be byte-identical");
+        assert!(a.starts_with("{\n  \"approval_calls\":"), "{a}");
+        for key in ["offer_rounds", "slots_scanned", "tasks_assigned", "events_popped"] {
+            assert!(a.contains(&format!("\"{key}\"")), "report must carry {key}");
+        }
+        // Attaching a decision-trace sink must not move a single counter:
+        // trace-gated work is deliberately uncounted, so the counter
+        // plane is identical whether or not the run is observed.
+        use ssr_cluster::ClusterSpec;
+        use ssr_sim::{OrderConfig, PolicyConfig, Simulation};
+        use ssr_simcore::dist::constant;
+        use ssr_simcore::SimTime;
+        use ssr_workload::synthetic::{map_only, pipeline_of};
+        let fg = pipeline_of(
+            "fg-pipeline",
+            &[(4, constant(2.0)), (2, constant(6.0)), (1, constant(3.0))],
+            super::common::FG_PRIORITY,
+            SimTime::from_secs(5),
+        )
+        .unwrap();
+        let bg =
+            map_only("bg-batch", 16, constant(9.0), super::common::BG_PRIORITY).unwrap();
+        let cluster = ClusterSpec::new(4, 2).unwrap();
+        let (traced, _) = Simulation::new(
+            super::common::cluster_sim(cluster, 11),
+            PolicyConfig::ssr_strict(),
+            OrderConfig::FifoPriority,
+            vec![fg, bg],
+        )
+        .with_trace_sink(Box::new(ssr_trace::JsonlSink::new()))
+        .run_traced();
+        assert_eq!(a, traced.counters.render_json(), "tracing must not shift counters");
     }
 
     #[test]

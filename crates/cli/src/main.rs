@@ -18,11 +18,14 @@
 
 #![forbid(unsafe_code)]
 
+mod bench;
 mod opts;
 mod spec;
 
 use std::process::ExitCode;
 
+use ssr_perf::{SpanProfiler, WorkCounters};
+use ssr_sim::walltime::WallClock;
 use ssr_sim::{Experiment, SimConfig, Simulation};
 use ssr_trace::{JsonlSink, MetricsSink, SplitSink, TraceSink};
 
@@ -40,6 +43,7 @@ fn main() -> ExitCode {
         "deadline" => cmd_deadline(rest),
         "explain" => cmd_explain(rest),
         "check" => cmd_check(rest),
+        "bench" => cmd_bench(rest),
         "lint" => return ssr_lint::run_cli(rest),
         "--help" | "-h" | "help" => {
             usage();
@@ -69,6 +73,9 @@ fn usage() {
          \x20 check     verify the reservation protocol: replay a trace\n\
          \x20           through the invariant checker, or model-check the\n\
          \x20           scheduler exhaustively with --explore\n\
+         \x20 bench     diff two BENCH_*.json snapshots with a regression\n\
+         \x20           gate: bench diff OLD.json NEW.json\n\
+         \x20           [--threshold PCT] [--only SUBSTR]\n\
          \x20 lint      run the workspace determinism linter (ssr-lint):\n\
          \x20           per-file checks plus call-graph taint, panic-path,\n\
          \x20           trace-coverage and hot-path-allocation audits\n\
@@ -102,6 +109,11 @@ fn usage() {
          \x20                      baseline to PREFIX-<job>.jsonl\n\
          \x20 --metrics            print aggregated scheduling metrics after the run\n\
          \x20                      (sorted-key JSON with hold-time percentiles under --json)\n\
+         \x20 --counters           print the deterministic work-counter report after\n\
+         \x20                      the run (sorted-key JSON under --json)\n\
+         \x20 --profile            time scheduler phases and print the wall-clock\n\
+         \x20                      span tree to stderr\n\
+         \x20 --progress           stderr progress heartbeat during the run\n\
          \n\
          explain flags:\n\
          \x20 TRACE                the contended-run JSONL trace to analyze\n\
@@ -164,21 +176,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         if let Some(sink) = make_sink(&options) {
             sim = sim.with_trace_sink(sink);
         }
-        let (report, sink) = sim.run_traced();
+        if let Some(profiler) = make_profiler(&options) {
+            sim = sim.with_span_profiler(profiler);
+        }
+        if options.progress {
+            sim = sim.with_progress_heartbeat(PROGRESS_EVERY_EVENTS);
+        }
+        let (report, sink, profiler) = sim.run_instrumented();
         print_report_summary(&report, options.json)?;
         emit_trace_outputs(&options, sink)?;
+        emit_perf_outputs(&options, &report.counters, profiler);
         return Ok(());
     }
 
-    let experiment = Experiment::new(sim_config, options.policy.clone(), options.order)
+    let mut experiment = Experiment::new(sim_config, options.policy.clone(), options.order)
         .foreground(foreground)
         .background(background);
-    let (outcome, sink, alone_traces) = if options.trace_alone.is_some() {
-        experiment.run_traced_with_baselines(make_sink(&options))
-    } else {
-        let (outcome, sink) = experiment.run_traced(make_sink(&options));
-        (outcome, sink, Vec::new())
-    };
+    if options.progress {
+        experiment = experiment.with_progress_heartbeat(PROGRESS_EVERY_EVENTS);
+    }
+    let (outcome, sink, alone_traces, profiler) = experiment.run_instrumented(
+        make_sink(&options),
+        make_profiler(&options),
+        options.trace_alone.is_some(),
+    );
     if let Some(prefix) = &options.trace_alone {
         for alone in &alone_traces {
             let path = format!("{prefix}-{}.jsonl", alone.job);
@@ -191,7 +212,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "{}",
             serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
         );
-        return emit_trace_outputs(&options, sink);
+        emit_trace_outputs(&options, sink)?;
+        emit_perf_outputs(&options, &outcome.counters, profiler);
+        return Ok(());
     }
     println!("policy: {}   order: {:?}   seed: {}", outcome.policy, options.order, options.seed);
     println!("{:<24} {:>12} {:>14} {:>10}", "foreground job", "alone (s)", "contended (s)", "slowdown");
@@ -210,7 +233,48 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         outcome.contended.speculative_copies,
         outcome.contended.kills,
     );
-    emit_trace_outputs(&options, sink)
+    emit_trace_outputs(&options, sink)?;
+    emit_perf_outputs(&options, &outcome.counters, profiler);
+    Ok(())
+}
+
+/// Heartbeat period for `--progress`, in processed events.
+const PROGRESS_EVERY_EVENTS: u64 = 10_000;
+
+/// `ssr-cli bench <subcommand>`: benchmark-snapshot tooling.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("bench needs a subcommand: diff (see ssr-cli --help)".to_owned());
+    };
+    match sub.as_str() {
+        "diff" => bench::cmd_diff(rest),
+        other => Err(format!("unknown bench subcommand {other}; known: diff")),
+    }
+}
+
+/// Builds the wall-clock span profiler requested by `--profile`, if any.
+fn make_profiler(options: &RunOptions) -> Option<Box<SpanProfiler>> {
+    options.profile.then(|| Box::new(SpanProfiler::new(Box::new(WallClock::start()))))
+}
+
+/// Prints the work-counter report (stdout) and the span tree (stderr),
+/// as requested. Counters are the deterministic plane and may join
+/// byte-compared stdout; spans are wall-clock and never touch stdout.
+fn emit_perf_outputs(
+    options: &RunOptions,
+    counters: &WorkCounters,
+    profiler: Option<Box<SpanProfiler>>,
+) {
+    if options.counters {
+        if options.json {
+            println!("{}", counters.render_json());
+        } else {
+            print!("{}", counters.render_text());
+        }
+    }
+    if let Some(profiler) = profiler {
+        eprint!("{}", profiler.report().render_text());
+    }
 }
 
 /// `ssr-cli explain TRACE [--alone PATH]... [--json] [--width N]`:

@@ -58,6 +58,17 @@ pub struct RunOptions {
     pub trace_alone: Option<String>,
     /// Print an aggregated scheduling-metrics report after the run.
     pub metrics: bool,
+    /// Print the deterministic work-counter report after the run (text,
+    /// or sorted-key JSON under `--json`). Counters are always collected;
+    /// the flag only controls the extra output.
+    pub counters: bool,
+    /// Attach a wall-clock span profiler to the contended run and print
+    /// the flamegraph-style span tree to stderr (non-deterministic
+    /// plane).
+    pub profile: bool,
+    /// Emit a stderr progress heartbeat during the run (non-deterministic
+    /// plane).
+    pub progress: bool,
 }
 
 impl RunOptions {
@@ -88,6 +99,9 @@ impl RunOptions {
         let mut trace = None;
         let mut trace_alone = None;
         let mut metrics = false;
+        let mut counters = false;
+        let mut profile = false;
+        let mut progress = false;
 
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -157,6 +171,9 @@ impl RunOptions {
                 "--trace" => trace = Some(value("--trace")?),
                 "--trace-alone" => trace_alone = Some(value("--trace-alone")?),
                 "--metrics" => metrics = true,
+                "--counters" => counters = true,
+                "--profile" => profile = true,
+                "--progress" => progress = true,
                 other => return Err(err(format!("unknown flag {other}"))),
             }
         }
@@ -231,6 +248,9 @@ impl RunOptions {
             trace,
             trace_alone,
             metrics,
+            counters,
+            profile,
+            progress,
         })
     }
 }
@@ -258,6 +278,17 @@ mod tests {
         assert_eq!(o.trace, None);
         assert_eq!(o.trace_alone, None);
         assert!(!o.metrics);
+        assert!(!o.counters);
+        assert!(!o.profile);
+        assert!(!o.progress);
+    }
+
+    #[test]
+    fn perf_flags() {
+        let o = parse(&["--counters", "--profile", "--progress"]).unwrap();
+        assert!(o.counters);
+        assert!(o.profile);
+        assert!(o.progress);
     }
 
     #[test]

@@ -20,8 +20,8 @@ use crate::suppress::{parse_directives, Suppression};
 /// executes between seed and report must be a pure function of its
 /// inputs. D001 applies only here.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
-    "check", "cluster", "core", "dag", "explain", "faults", "scheduler", "sim", "simcore",
-    "trace", "workload",
+    "check", "cluster", "core", "dag", "explain", "faults", "perf", "scheduler", "sim",
+    "simcore", "trace", "workload",
 ];
 
 /// The only files allowed to read the wall clock (D002). Timing flows
@@ -40,8 +40,8 @@ pub const RNG_HOME_FILES: &[&str] = &["crates/simcore/src/rng.rs"];
 
 /// All lint codes, in report order.
 pub const CODES: &[&str] = &[
-    "A001", "D001", "D002", "D003", "D004", "D005", "D101", "D102", "D103", "D104", "D105",
-    "D106", "L001", "L002", "P001", "S001", "T001",
+    "A001", "C001", "D001", "D002", "D003", "D004", "D005", "D101", "D102", "D103", "D104",
+    "D105", "D106", "L001", "L002", "P001", "S001", "T001",
 ];
 
 /// Function names that root the P001 panic-path audit: the scheduler's
@@ -65,6 +65,15 @@ pub const HOT_PATH_ROOTS: &[&str] = &["resource_offers"];
 
 /// The enum T001 audits for emission/reader exhaustiveness.
 pub const TRACE_EVENT_ENUM: &str = "TraceEventKind";
+
+/// The struct C001 audits for counter coverage.
+pub const COUNTER_STRUCT: &str = "WorkCounters";
+
+/// The crate that owns [`COUNTER_STRUCT`] and renders its report.
+pub const COUNTER_HOME_CRATE: &str = "perf";
+
+/// Methods that mutate a counter field (C001's notion of "incremented").
+const COUNTER_MUTATORS: &[&str] = &["inc", "add", "high_water"];
 
 /// Crates that must emit every trace event variant.
 const TRACE_EMITTER_CRATES: &[&str] = &["scheduler", "sim"];
@@ -943,6 +952,138 @@ pub(crate) fn check_t001(files: &[GraphFile<'_>], out: &mut Vec<Diagnostic>) {
                     "add a checker invariant or an explain-side reader for the variant \
                      (see crates/check and crates/explain)"
                         .to_owned(),
+                )
+                .with_function(name),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// C001 — work-counter coverage
+// ---------------------------------------------------------------------
+
+/// C001: every field of `WorkCounters` (crates/perf) must be mutated by
+/// engine code outside its home crate *and* listed in the `fields()`
+/// report table, so a counter can neither silently read zero nor
+/// silently vanish from the rendered report.
+pub(crate) fn check_c001(files: &[GraphFile<'_>], out: &mut Vec<Diagnostic>) {
+    // Locate the struct in its home crate and collect its field names.
+    let mut counter_fields: Vec<(String, u32)> = Vec::new();
+    let mut struct_file = String::new();
+    for f in files {
+        if f.parsed.krate.as_deref() != Some(COUNTER_HOME_CRATE) {
+            continue;
+        }
+        let tokens = &f.lexed.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_ident("struct")
+                && tokens.get(i + 1).is_some_and(|n| n.is_ident(COUNTER_STRUCT))
+                && tokens.get(i + 2).is_some_and(|b| b.is_punct("{"))
+            {
+                let close = matching_brace(tokens, i + 2);
+                let mut k = i + 3;
+                while k < close {
+                    if tokens[k].is_ident("pub")
+                        && tokens.get(k + 1).map(|n| n.kind) == Some(TokKind::Ident)
+                        && tokens.get(k + 2).is_some_and(|c| c.is_punct(":"))
+                    {
+                        counter_fields.push((tokens[k + 1].text.clone(), tokens[k + 1].line));
+                        k += 3;
+                    } else {
+                        k += 1;
+                    }
+                }
+                struct_file = f.rel.to_owned();
+            }
+        }
+    }
+    if counter_fields.is_empty() {
+        return;
+    }
+
+    // `rendered`: fields listed in the report table — idents inside the
+    // body of `WorkCounters::fields`, which both rendering and merging
+    // walk. `incremented`: fields mutated (`.field.inc/add/high_water`)
+    // in shipped code outside the home crate.
+    let mut rendered: Vec<&str> = Vec::new();
+    let mut incremented: Vec<&str> = Vec::new();
+    for f in files {
+        let Some(krate) = f.parsed.krate.as_deref() else { continue };
+        let tokens = &f.lexed.tokens;
+        if krate == COUNTER_HOME_CRATE {
+            for item in &f.parsed.fns {
+                if item.name != "fields"
+                    || item.self_type.as_deref() != Some(COUNTER_STRUCT)
+                {
+                    continue;
+                }
+                let Some((open, close)) = item.body else { continue };
+                for t in &tokens[open..=close] {
+                    if let Some((name, _)) =
+                        counter_fields.iter().find(|(n, _)| t.is_ident(n))
+                    {
+                        if !rendered.contains(&name.as_str()) {
+                            rendered.push(name);
+                        }
+                    }
+                }
+            }
+        } else {
+            let exempt = exempt_ranges(tokens);
+            let in_exempt =
+                |line: u32| exempt.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+            for (k, t) in tokens.iter().enumerate() {
+                if k == 0 || !tokens[k - 1].is_punct(".") || in_exempt(t.line) {
+                    continue;
+                }
+                let Some((name, _)) = counter_fields.iter().find(|(n, _)| t.is_ident(n))
+                else {
+                    continue;
+                };
+                let mutated = tokens.get(k + 1).is_some_and(|d| d.is_punct("."))
+                    && tokens
+                        .get(k + 2)
+                        .is_some_and(|m| COUNTER_MUTATORS.iter().any(|mm| m.is_ident(mm)));
+                if mutated && !incremented.contains(&name.as_str()) {
+                    incremented.push(name);
+                }
+            }
+        }
+    }
+    for (name, line) in &counter_fields {
+        if !incremented.contains(&name.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    "C001",
+                    &struct_file,
+                    *line,
+                    1,
+                    format!(
+                        "`{COUNTER_STRUCT}::{name}` is never incremented outside \
+                         crates/{COUNTER_HOME_CRATE} — the counter always reads zero"
+                    ),
+                    "increment the field on the code path it measures, or delete it"
+                        .to_owned(),
+                )
+                .with_function(name),
+            );
+        }
+        if !rendered.contains(&name.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    "C001",
+                    &struct_file,
+                    *line,
+                    1,
+                    format!(
+                        "`{COUNTER_STRUCT}::{name}` is missing from the `fields()` \
+                         report table — the count is collected but never rendered"
+                    ),
+                    format!(
+                        "add a row to `{COUNTER_STRUCT}::fields()`; rendering and \
+                         merging both walk that table"
+                    ),
                 )
                 .with_function(name),
             );

@@ -32,6 +32,7 @@
 //! | P001 | panic site (`unwrap`/`expect`/`panic!`/indexing) reachable from a scheduler recovery root |
 //! | T001 | `TraceEventKind` variant never emitted by scheduler/sim or never read by check/explain |
 //! | A001 | allocation reachable from the `resource_offers` hot path |
+//! | C001 | `WorkCounters` field never incremented by engine code or missing from the report table |
 //!
 //! Call-graph findings carry a witness `chain` (sink→source or
 //! root→site) in the JSON report; `--explain-chain` prints it in text
@@ -168,6 +169,7 @@ pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> io::Result<Worksp
     checks::check_p001(&graph, &graph_files, &mut ws);
     checks::check_a001(&graph, &graph_files, &mut ws);
     checks::check_t001(&graph_files, &mut ws);
+    checks::check_c001(&graph_files, &mut ws);
 
     // Workspace findings honour the same line-targeted directives as
     // per-file ones.
@@ -296,7 +298,7 @@ pub fn run_cli(args: &[String]) -> ExitCode {
                      contract: per-file checks (D001-D005, S001, L001/L002) plus\n\
                      interprocedural call-graph audits (D101-D106 nondeterminism\n\
                      taint, P001 recovery-path panics, T001 trace exhaustiveness,\n\
-                     A001 hot-path allocation; see EXPERIMENTS.md \"The\n\
+                     A001 hot-path allocation, C001 counter coverage; see EXPERIMENTS.md \"The\n\
                      determinism contract\"). Audited debt lives in\n\
                      <root>/lint.baseline (auto-loaded; override with\n\
                      --baseline). Exits nonzero on any unsuppressed,\n\

@@ -169,10 +169,15 @@ pub fn parse_file(rel: &str, lexed: &Lexed) -> ParsedFile {
             let name = tokens[i + 1].text.clone();
             // Find the body `{` (or `;` for trait signatures). Braces
             // cannot appear in generics, parameter lists or return types
-            // at this syntactic level.
+            // at this syntactic level, but array types (`[T; N]`) carry a
+            // `;` — skip bracketed ranges so it doesn't read as body-less.
             let mut j = i + 2;
             while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
-                j += 1;
+                if tokens[j].is_punct("[") {
+                    j = past_brackets(tokens, j);
+                } else {
+                    j += 1;
+                }
             }
             let body = if tokens.get(j).is_some_and(|b| b.is_punct("{")) {
                 Some((j, matching_brace(tokens, j)))
@@ -416,6 +421,22 @@ pub(crate) fn matching_brace(tokens: &[Tok], open: usize) -> usize {
         }
     }
     tokens.len().saturating_sub(1)
+}
+
+/// Returns the index just past the `]` matching the `[` at `open`.
+fn past_brackets(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+    }
+    tokens.len()
 }
 
 /// Returns the index of the `)` matching the `(` at `open`.

@@ -1,0 +1,37 @@
+//! Fixture: the counter schema with one fully-covered field, one field
+//! nobody increments, and one field missing from the report table.
+#![forbid(unsafe_code)]
+
+/// One monotone counter.
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {}
+}
+
+/// Work counters.
+pub struct WorkCounters {
+    /// Incremented by the engine and rendered — clean.
+    pub covered: Counter,
+    /// Listed in the report table but never incremented.
+    pub never_bumped: Counter,
+    /// Incremented by the engine but missing from the report table.
+    pub never_rendered: Counter,
+}
+
+impl WorkCounters {
+    /// Field table driving the rendered report.
+    fn fields(&self) -> [(&'static str, &Counter); 2] {
+        [("covered", &self.covered), ("never_bumped", &self.never_bumped)]
+    }
+
+    /// Renders the report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, _) in self.fields() {
+            out.push_str(name);
+        }
+        out
+    }
+}

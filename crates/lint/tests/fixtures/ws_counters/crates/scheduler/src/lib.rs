@@ -1,0 +1,18 @@
+//! Fixture: the engine side bumping work counters.
+#![forbid(unsafe_code)]
+
+use ssr_perf::WorkCounters;
+
+/// Bumps the covered and never-rendered counters.
+pub fn account(counters: &WorkCounters) {
+    counters.covered.inc();
+    counters.never_rendered.inc();
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test-only mutation must not count as coverage.
+    pub fn bump_in_test(counters: &super::WorkCounters) {
+        counters.never_bumped.inc();
+    }
+}

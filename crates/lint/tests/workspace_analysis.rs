@@ -82,6 +82,27 @@ fn t001_flags_unemitted_and_unread_variants() {
 }
 
 #[test]
+fn c001_flags_unbumped_and_unrendered_counter_fields() {
+    let outcome = lint_workspace(&fixture_root("ws_counters")).expect("fixture lints");
+    let report = &outcome.report;
+    assert_eq!(report.findings.len(), 2, "got:\n{}", report.render_text(false));
+    assert!(report.findings.iter().all(|d| d.code == "C001"));
+    assert!(report.findings.iter().all(|d| d.file == "crates/perf/src/lib.rs"));
+    let unbumped =
+        report.findings.iter().find(|d| d.function == "never_bumped").expect("never_bumped");
+    assert!(unbumped.message.contains("never incremented"), "{}", unbumped.message);
+    let unrendered = report
+        .findings
+        .iter()
+        .find(|d| d.function == "never_rendered")
+        .expect("never_rendered");
+    assert!(unrendered.message.contains("never rendered"), "{}", unrendered.message);
+    // `covered` is bumped by the engine and listed in the report table;
+    // the test-only bump of `never_bumped` must not count as coverage.
+    assert!(report.findings.iter().all(|d| d.function != "covered"));
+}
+
+#[test]
 fn json_output_matches_checked_in_golden_byte_for_byte() {
     // schema_version 2, alphabetically sorted keys, trailing newline —
     // downstream tooling diffs this stream, so it is pinned exactly.

@@ -15,6 +15,7 @@ use ssr_cluster::{
     ClusterSpec, DataPlacement, LocalityLevel, LocalityModel, Reservation, SlotId, SlotPool,
 };
 use ssr_dag::{JobId, JobSpec, Priority, StageId};
+use ssr_perf::{SpanProfiler, WorkCounters};
 use ssr_simcore::SimTime;
 use ssr_trace::{DenyReason, TraceEvent, TraceEventKind, TraceSink};
 
@@ -135,6 +136,16 @@ pub struct TaskScheduler {
     /// off and no event is ever constructed — every emit site is guarded by
     /// `self.trace.is_some()`, so the disabled path costs one branch.
     trace: Option<Box<dyn TraceSink>>,
+    /// Deterministic work counters, always on: pure counts of engine
+    /// work, a function of the seed alone. `Cell`-based so `&self` hot
+    /// paths (`best_candidate` and friends) can count without
+    /// restructuring borrows.
+    counters: WorkCounters,
+    /// Optional wall-clock span profiler (non-deterministic plane).
+    /// `None` (the default) means no span is ever opened; every site is
+    /// guarded by `self.profiler.is_some()`-shaped checks, so the
+    /// disabled path costs one branch — the same contract as `trace`.
+    profiler: Option<Box<SpanProfiler>>,
     /// Cached `JobSnapshot`s of schedulable jobs (incomplete with pending
     /// tasks), rebuilt lazily when `snapshots_dirty`; offer rounds copy
     /// them into `candidates_buf` and maintain that copy per assignment
@@ -187,6 +198,8 @@ impl TaskScheduler {
             next_job: 0,
             prereserve: BTreeMap::new(),
             trace: None,
+            counters: WorkCounters::new(),
+            profiler: None,
             snapshots: Vec::new(),
             snapshots_dirty: true,
             candidates_buf: Vec::new(),
@@ -233,11 +246,70 @@ impl TaskScheduler {
         self.trace.is_some()
     }
 
+    /// The deterministic work counters accumulated so far.
+    pub fn work_counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    /// Attaches a wall-clock span profiler: offer rounds, speculation
+    /// scans and trace emission are timed from here on. Replaces any
+    /// prior profiler. Spans are the non-deterministic plane — see the
+    /// two-plane rule in `ssr-perf`.
+    pub fn set_span_profiler(&mut self, profiler: Box<SpanProfiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Detaches and returns the span profiler, if one was attached;
+    /// used to recover the aggregated spans after a run.
+    pub fn take_span_profiler(&mut self) -> Option<Box<SpanProfiler>> {
+        self.profiler.take()
+    }
+
+    /// The attached span profiler, if any — the driving loop opens its
+    /// own phases (run loop, event dispatch) on the same span stack so
+    /// scheduler spans nest under them.
+    pub fn span_profiler_mut(&mut self) -> Option<&mut SpanProfiler> {
+        self.profiler.as_deref_mut()
+    }
+
+    /// Opens a profiler span, if a profiler is attached.
+    #[inline]
+    fn span_enter(&mut self, name: &str) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.enter(name);
+        }
+    }
+
+    /// Closes the innermost profiler span, if a profiler is attached.
+    #[inline]
+    fn span_exit(&mut self) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.exit();
+        }
+    }
+
+    /// Classifies one scratch-buffer recycle: a buffer that kept its
+    /// capacity from a prior round is a reuse, one growing from zero is
+    /// a fresh allocation.
+    #[inline]
+    fn note_scratch(&self, capacity: usize) {
+        if capacity > 0 {
+            self.counters.scratch_reuses.inc();
+        } else {
+            self.counters.scratch_allocs.inc();
+        }
+    }
+
     /// Reports one decision to the attached sink, if any.
     fn emit(&mut self, time: SimTime, kind: TraceEventKind) {
+        if self.trace.is_none() {
+            return;
+        }
+        self.span_enter("trace_emit");
         if let Some(sink) = self.trace.as_mut() {
             sink.record(&TraceEvent::new(time, kind));
         }
+        self.span_exit();
     }
 
     /// Admits a job at `now`; its root phases become ready immediately.
@@ -288,6 +360,8 @@ impl TaskScheduler {
     /// finally launches straggler copies on reserved-idle slots if the
     /// policy mitigates stragglers.
     pub fn resource_offers(&mut self, now: SimTime) -> Vec<Assignment> {
+        self.counters.offer_rounds.inc();
+        self.span_enter("offer_round");
         self.fill_prereservations(now);
         let mut assignments = Vec::new();
         // Early exit for a saturated cluster: no free or reserved slot means
@@ -300,6 +374,8 @@ impl TaskScheduler {
         if available > 0 {
             if self.snapshots_dirty {
                 self.rebuild_snapshots();
+            } else {
+                self.counters.index_hits.inc();
             }
             // Work on a copy of the cached snapshots: candidates drop out
             // as they drain or fail to place, and running counts advance
@@ -307,6 +383,7 @@ impl TaskScheduler {
             // is a total order with an id tie-break — so `swap_remove`
             // maintenance is safe.
             let mut candidates = std::mem::take(&mut self.candidates_buf);
+            self.note_scratch(candidates.capacity());
             candidates.clear();
             candidates.extend_from_slice(&self.snapshots);
             if free == 0 && self.policy.approval_is_priority_based() {
@@ -368,10 +445,14 @@ impl TaskScheduler {
             self.candidates_buf = candidates;
         }
         if self.policy.mitigate_stragglers() {
+            self.span_enter("speculation_scan");
             assignments.extend(self.launch_straggler_copies(now));
+            self.span_exit();
         }
         if self.speculation.is_some() {
+            self.span_enter("speculation_scan");
             assignments.extend(self.launch_progress_speculation(now));
+            self.span_exit();
         }
         if !assignments.is_empty() {
             // Launches changed running counts / pending sets.
@@ -380,6 +461,7 @@ impl TaskScheduler {
         if self.trace.is_some() {
             self.emit(now, TraceEventKind::OfferRoundEnded { assignments: assignments.len() });
         }
+        self.span_exit();
         assignments
     }
 
@@ -441,6 +523,7 @@ impl TaskScheduler {
 
     /// Re-derives the cached snapshot vector of schedulable jobs.
     fn rebuild_snapshots(&mut self) {
+        self.counters.index_rescans.inc();
         self.snapshots.clear();
         let running_per_job = &self.running_per_job;
         self.snapshots.extend(
@@ -467,8 +550,10 @@ impl TaskScheduler {
             return true;
         }
         self.slots.reservation_groups().any(|(owner, rprio, _)| {
+            self.counters.reservation_groups_touched.inc();
             let probe = Reservation::new(owner, rprio);
             let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
+            self.counters.approval_calls.inc();
             self.policy.approve(&ctx, &probe, job, priority)
         })
     }
@@ -504,6 +589,8 @@ impl TaskScheduler {
         self.slots.assign(slot, instance.task).expect("candidate slot was not running");
         self.running.insert(slot, RunningInstance { instance, started: now, level });
         *self.running_per_job.entry(job).or_insert(0) += 1;
+        self.counters.tasks_assigned.inc();
+        self.counters.peak_running_instances.high_water(self.running.len() as u64);
         Some(Assignment { slot, instance, level, speculative: false, warm: false })
     }
 
@@ -538,17 +625,20 @@ impl TaskScheduler {
             // approved-slot set as the per-slot scan below, so the
             // min-rank result is identical.
             for (owner, rprio, _) in self.slots.reservation_groups() {
+                self.counters.reservation_groups_touched.inc();
                 let class = if owner == job {
                     0u8
                 } else {
                     let probe = Reservation::new(owner, rprio);
                     let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
+                    self.counters.approval_calls.inc();
                     if !self.policy.approve(&ctx, &probe, job, priority) {
                         continue;
                     }
                     2u8
                 };
                 for slot in self.slots.reserved_for(owner) {
+                    self.counters.slots_scanned.inc();
                     let r = self.slots.get(slot).reservation().expect("reserved index entry");
                     if r.priority() != rprio {
                         continue;
@@ -570,6 +660,7 @@ impl TaskScheduler {
             }
         } else {
             for slot in self.slots.reserved_slots() {
+                self.counters.slots_scanned.inc();
                 // §III-C: a task only fits a slot of at least its demand.
                 if self.slots.size(slot) < demand {
                     continue;
@@ -580,6 +671,7 @@ impl TaskScheduler {
                 }
                 let r = self.slots.get(slot).reservation().expect("reserved index entry");
                 let ctx = PolicyCtx { now, slots: &self.slots, jobs: &self.jobs };
+                self.counters.approval_calls.inc();
                 if !self.policy.approve(&ctx, r, job, priority) {
                     continue;
                 }
@@ -602,6 +694,7 @@ impl TaskScheduler {
                 LocalityLevel::ProcessLocal => preferred
                     .iter()
                     .copied()
+                    .inspect(|_| self.counters.slots_scanned.inc())
                     .filter(|&s| {
                         !self.slots.is_offline(s)
                             && self.slots.get(s).is_free()
@@ -642,9 +735,14 @@ impl TaskScheduler {
     ) -> Option<SlotId> {
         if self.slots.uniform_size() {
             // Homogeneous cluster: the first slot fits iff any does.
-            return iter.next().filter(|&s| self.slots.size(s) >= demand);
+            let first = iter.next();
+            if first.is_some() {
+                self.counters.slots_scanned.inc();
+            }
+            return first.filter(|&s| self.slots.size(s) >= demand);
         }
-        iter.find(|&s| self.slots.size(s) >= demand)
+        iter.inspect(|_| self.counters.slots_scanned.inc())
+            .find(|&s| self.slots.size(s) >= demand)
     }
 
     /// §IV-C: for each job whose reserved-idle slots can cover all ongoing
@@ -658,10 +756,13 @@ impl TaskScheduler {
         // per-job reservation index lists them in ascending id order, the
         // same relative order the all-jobs scan visited them in.
         let mut job_ids = std::mem::take(&mut self.straggler_jobs_buf);
+        self.note_scratch(job_ids.capacity());
         job_ids.clear();
         job_ids.extend(self.slots.reservations_by_job().map(|(j, _)| j));
         let mut remaining = std::mem::take(&mut self.straggler_slots_buf);
+        self.note_scratch(remaining.capacity());
         let mut plans = std::mem::take(&mut self.straggler_plans_buf);
+        self.note_scratch(plans.capacity());
         for &job in &job_ids {
             remaining.clear();
             remaining.extend(self.slots.reserved_for(job));
@@ -682,7 +783,12 @@ impl TaskScheduler {
                     continue;
                 }
                 let before = plans.len();
-                plans.extend(tsm.copy_candidate_iter().take(budget).map(|p| (tsm.stage(), p)));
+                plans.extend(
+                    tsm.copy_candidate_iter()
+                        .take(budget)
+                        .inspect(|_| self.counters.speculation_candidates_examined.inc())
+                        .map(|p| (tsm.stage(), p)),
+                );
                 budget -= plans.len() - before;
             }
             for &(stage, partition) in &plans {
@@ -712,6 +818,8 @@ impl TaskScheduler {
                     RunningInstance { instance, started: now, level: LocalityLevel::ProcessLocal },
                 );
                 *self.running_per_job.entry(job).or_insert(0) += 1;
+                self.counters.tasks_assigned.inc();
+                self.counters.peak_running_instances.high_water(self.running.len() as u64);
                 let a = Assignment {
                     slot,
                     instance,
@@ -736,8 +844,10 @@ impl TaskScheduler {
         let Some(cfg) = self.speculation else { return Vec::new() };
         // Plan immutably first: (job, stage, partition, slot, level).
         let mut plans = std::mem::take(&mut self.spec_plans_buf);
+        self.note_scratch(plans.capacity());
         plans.clear();
         let mut free = std::mem::take(&mut self.spec_free_buf);
+        self.note_scratch(free.capacity());
         free.clear();
         free.extend(self.slots.free_slots());
         for state in self.jobs.iter() {
@@ -754,6 +864,7 @@ impl TaskScheduler {
                     continue;
                 };
                 for partition in tsm.copy_candidate_iter() {
+                    self.counters.speculation_candidates_examined.inc();
                     let Some((instance, running_slot)) = tsm.sole_running_instance(partition)
                     else {
                         continue;
@@ -787,6 +898,8 @@ impl TaskScheduler {
             self.slots.assign(slot, instance.task).expect("free slot is assignable");
             self.running.insert(slot, RunningInstance { instance, started: now, level });
             *self.running_per_job.entry(job).or_insert(0) += 1;
+            self.counters.tasks_assigned.inc();
+            self.counters.peak_running_instances.high_water(self.running.len() as u64);
             let a = Assignment { slot, instance, level, speculative: true, warm: false };
             if self.trace.is_some() {
                 self.emit(now, launch_event(&a));
@@ -1039,9 +1152,11 @@ impl TaskScheduler {
             return;
         }
         let mut free = std::mem::take(&mut self.prereserve_free_buf);
+        self.note_scratch(free.capacity());
         free.clear();
         free.extend(self.slots.free_slots().map(|s| (s, self.slots.size(s))));
         let mut keys = std::mem::take(&mut self.prereserve_keys_buf);
+        self.note_scratch(keys.capacity());
         keys.clear();
         keys.extend(self.prereserve.keys().copied());
         let prereserve = &self.prereserve;

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use ssr_cluster::ClusterSpec;
 use ssr_core::{SpeculativeReservation, SsrConfig};
 use ssr_dag::{JobSpec, Priority};
+use ssr_perf::SpanProfiler;
 use ssr_scheduler::{
     Fair, Fifo, FifoPriority, JobOrder, ReservationPolicy, StaticReservation, TimeoutReservation,
     WorkConserving,
@@ -174,6 +175,12 @@ pub struct ExperimentOutcome {
     /// worker counts.
     #[serde(skip)]
     pub wall_secs: f64,
+    /// Deterministic work counters merged over the contended run and
+    /// every alone baseline, in foreground order — identical at any
+    /// worker count. Excluded from serialization; counters carry their
+    /// own sorted-key report.
+    #[serde(skip)]
+    pub counters: ssr_perf::WorkCounters,
 }
 
 impl ExperimentOutcome {
@@ -205,6 +212,16 @@ pub struct AloneTrace {
     pub jsonl: String,
 }
 
+/// What [`Experiment::run_instrumented`] hands back: the outcome plus
+/// every attached instrument returned for harvesting — the contended
+/// run's trace sink, the alone-baseline traces, and the span profiler.
+pub type InstrumentedOutcome = (
+    ExperimentOutcome,
+    Option<Box<dyn ssr_trace::TraceSink>>,
+    Vec<AloneTrace>,
+    Option<Box<SpanProfiler>>,
+);
+
 /// A contention experiment: foreground jobs (measured) run against
 /// background jobs (load), each foreground job also measured running
 /// alone to obtain the slowdown denominator.
@@ -215,6 +232,7 @@ pub struct Experiment {
     order: OrderConfig,
     foreground: Vec<JobSpec>,
     background: Vec<JobSpec>,
+    progress_every: Option<u64>,
 }
 
 impl Experiment {
@@ -226,7 +244,17 @@ impl Experiment {
             order,
             foreground: Vec::new(),
             background: Vec::new(),
+            progress_every: None,
         }
+    }
+
+    /// Enables the contended run's stderr progress heartbeat every
+    /// `every_events` processed events (wall-clock plane; run-alone
+    /// baselines stay quiet).
+    #[must_use]
+    pub fn with_progress_heartbeat(mut self, every_events: u64) -> Self {
+        self.progress_every = Some(every_events.max(1));
+        self
     }
 
     /// Adds measured foreground jobs.
@@ -312,6 +340,18 @@ impl Experiment {
         &self,
         sink: Option<Box<dyn ssr_trace::TraceSink>>,
     ) -> (SimReport, Option<Box<dyn ssr_trace::TraceSink>>) {
+        let (report, sink, _) = self.run_contended_instrumented(sink, None);
+        (report, sink)
+    }
+
+    /// [`run_contended_traced`](Experiment::run_contended_traced) plus an
+    /// optional wall-clock span profiler, returned with its aggregated
+    /// spans after the run.
+    fn run_contended_instrumented(
+        &self,
+        sink: Option<Box<dyn ssr_trace::TraceSink>>,
+        profiler: Option<Box<SpanProfiler>>,
+    ) -> (SimReport, Option<Box<dyn ssr_trace::TraceSink>>, Option<Box<SpanProfiler>>) {
         let mut jobs = self.foreground.clone();
         jobs.extend(self.background.iter().cloned());
         let mut sim =
@@ -319,7 +359,13 @@ impl Experiment {
         if let Some(sink) = sink {
             sim = sim.with_trace_sink(sink);
         }
-        sim.run_traced()
+        if let Some(profiler) = profiler {
+            sim = sim.with_span_profiler(profiler);
+        }
+        if let Some(every) = self.progress_every {
+            sim = sim.with_progress_heartbeat(every);
+        }
+        sim.run_instrumented()
     }
 
     /// Runs the complete experiment: alone baselines + contended run +
@@ -343,7 +389,7 @@ impl Experiment {
         &self,
         sink: Option<Box<dyn ssr_trace::TraceSink>>,
     ) -> (ExperimentOutcome, Option<Box<dyn ssr_trace::TraceSink>>) {
-        let (outcome, sink, _) = self.run_traced_inner(sink, false);
+        let (outcome, sink, _, _) = self.run_instrumented(sink, None, false);
         (outcome, sink)
     }
 
@@ -358,16 +404,23 @@ impl Experiment {
         &self,
         sink: Option<Box<dyn ssr_trace::TraceSink>>,
     ) -> (ExperimentOutcome, Option<Box<dyn ssr_trace::TraceSink>>, Vec<AloneTrace>) {
-        self.run_traced_inner(sink, true)
+        let (outcome, sink, alone, _) = self.run_instrumented(sink, None, true);
+        (outcome, sink, alone)
     }
 
-    fn run_traced_inner(
+    /// The fully instrumented experiment run: optional decision-trace
+    /// sink and wall-clock span profiler on the contended simulation,
+    /// optional JSONL traces of the alone baselines. Instrumentation is
+    /// observation-only — the outcome is byte-identical to
+    /// [`run`](Experiment::run) whatever is attached.
+    pub fn run_instrumented(
         &self,
         sink: Option<Box<dyn ssr_trace::TraceSink>>,
+        profiler: Option<Box<SpanProfiler>>,
         trace_baselines: bool,
-    ) -> (ExperimentOutcome, Option<Box<dyn ssr_trace::TraceSink>>, Vec<AloneTrace>) {
+    ) -> InstrumentedOutcome {
         let started = crate::walltime::Stopwatch::start();
-        let (contended, sink) = self.run_contended_traced(sink);
+        let (contended, sink, profiler) = self.run_contended_instrumented(sink, profiler);
         let alone_runs: Vec<(SimReport, Option<String>)> = crate::runner::par_map(
             crate::runner::worker_count(),
             &self.foreground,
@@ -393,12 +446,14 @@ impl Experiment {
             .collect();
         let alone_reports: Vec<&SimReport> = alone_runs.iter().map(|(r, _)| r).collect();
         let mut events_processed = contended.events_processed;
+        let counters = contended.counters.clone();
         let foreground = self
             .foreground
             .iter()
             .zip(alone_reports)
             .map(|(job, alone_report)| {
                 events_processed += alone_report.events_processed;
+                counters.merge(&alone_report.counters);
                 let alone = alone_report
                     .jct_secs(job.name())
                     .unwrap_or_else(|| panic!("job {} did not finish alone", job.name()));
@@ -419,8 +474,9 @@ impl Experiment {
             contended,
             events_processed,
             wall_secs: started.elapsed_secs(),
+            counters,
         };
-        (outcome, sink, alone_traces)
+        (outcome, sink, alone_traces, profiler)
     }
 }
 
@@ -517,6 +573,29 @@ mod tests {
     #[should_panic(expected = "must lie in [0, 1]")]
     fn invalid_isolation_target_panics() {
         let _ = PolicyConfig::ssr_with_isolation(3.0);
+    }
+
+    #[test]
+    fn disabled_counters_change_nothing() {
+        // Counters are always on and `#[serde(skip)]`ed: the serialized
+        // outcome — the bytes `--json` runs and figure artifacts commit —
+        // is byte-identical whether or not anyone reads the counters, and
+        // never carries a counter key.
+        let run = || {
+            Experiment::new(sim_config(), PolicyConfig::ssr_strict(), OrderConfig::FifoPriority)
+                .foreground([foreground()])
+                .background([background()])
+                .run()
+        };
+        let silent = run();
+        let observed = run();
+        assert!(!observed.counters.is_zero(), "the engine must count work");
+        let _ = observed.counters.render_json();
+        let _ = observed.counters.render_text();
+        let a = serde_json::to_string_pretty(&silent).expect("serializes");
+        let b = serde_json::to_string_pretty(&observed).expect("serializes");
+        assert_eq!(a, b, "reading counters must not move a byte of output");
+        assert!(!a.contains("counters"), "counters must stay out of committed artifacts");
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod walltime;
 
 pub use experiment::{Experiment, ExperimentOutcome, OrderConfig, PolicyConfig, SlowdownRow};
 pub use report::{JobResult, SimReport, TaskTraceRecord, TimeSample};
-pub use runner::{par_map, worker_count, GridStats, Trial, TrialGrid, TrialResult};
+pub use runner::{merged_counters, par_map, worker_count, GridStats, Trial, TrialGrid, TrialResult};
 pub use simulation::{SimConfig, Simulation};
 pub use ssr_faults::{FaultEvent, FaultKind, FaultPlan};

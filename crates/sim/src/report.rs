@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use ssr_dag::{JobId, Priority};
+use ssr_perf::WorkCounters;
 use ssr_simcore::{SimDuration, SimTime};
 
 /// The outcome of one job in a simulated run.
@@ -106,6 +107,13 @@ pub struct SimReport {
     /// byte-identical across runs and worker counts.
     #[serde(skip)]
     pub wall_secs: f64,
+    /// Deterministic work counters accumulated by the scheduler and the
+    /// event queue over the run. Excluded from serialization — counters
+    /// carry their own sorted-key report
+    /// ([`WorkCounters::render_json`]), and keeping them out of
+    /// `SimReport` JSON preserves the byte-pinned figure artifacts.
+    #[serde(skip)]
+    pub counters: WorkCounters,
 }
 
 impl SimReport {
@@ -227,6 +235,7 @@ mod tests {
             trace: vec![],
             events_processed: 12,
             wall_secs: 0.0,
+            counters: WorkCounters::default(),
         }
     }
 

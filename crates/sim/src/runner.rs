@@ -139,6 +139,19 @@ impl TrialResult {
     }
 }
 
+/// Merges the work counters of `results` in trial order.
+///
+/// Results arrive from [`par_map`] already merged back in grid order, so
+/// the merged counters — like everything else derived from a grid — are
+/// identical at every worker count.
+pub fn merged_counters(results: &[TrialResult]) -> ssr_perf::WorkCounters {
+    let merged = ssr_perf::WorkCounters::new();
+    for result in results {
+        merged.merge(&result.outcome.counters);
+    }
+    merged
+}
+
 /// Aggregate execution statistics of a grid run — the `--timing` report.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridStats {
@@ -387,6 +400,33 @@ mod tests {
             "4 workers took {:?} for 4 x 100ms of independent waiting",
             started.elapsed()
         );
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// The counter plane obeys the same contract as every other
+            /// grid output: merged in trial order, byte-identical at any
+            /// worker count.
+            #[test]
+            fn merged_counters_are_worker_count_invariant(
+                seed in 0u64..1_000,
+                repetitions in 1u32..3,
+            ) {
+                let grid = TrialGrid::new(seed)
+                    .experiments([tiny_experiment(4), tiny_experiment(6)])
+                    .repetitions(repetitions);
+                let solo = merged_counters(&grid.run_with(1));
+                let pool = merged_counters(&grid.run_with(8));
+                prop_assert!(!solo.is_zero(), "trials must count work");
+                prop_assert_eq!(solo.render_json(), pool.render_json());
+                prop_assert_eq!(solo.render_text(), pool.render_text());
+            }
+        }
     }
 
     #[test]

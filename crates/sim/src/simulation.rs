@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use ssr_cluster::{ClusterSpec, LocalityLevel, LocalityModel, SlotId};
 use ssr_dag::{JobId, JobSpec};
 use ssr_faults::{FaultKind, FaultPlan};
+use ssr_perf::SpanProfiler;
 use ssr_scheduler::TaskScheduler;
 use ssr_simcore::events::EventQueue;
 use ssr_simcore::rng::SimRng;
@@ -169,6 +170,7 @@ pub struct Simulation {
     storm_factor: f64,
     cold_until: Vec<SimTime>,
     cold_factor: Vec<f64>,
+    progress_every: Option<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -241,6 +243,7 @@ impl Simulation {
             storm_factor: 1.0,
             cold_until: vec![SimTime::ZERO; total_slots],
             cold_factor: vec![1.0; total_slots],
+            progress_every: None,
         }
     }
 
@@ -253,6 +256,25 @@ impl Simulation {
         self
     }
 
+    /// Attaches a wall-clock span profiler (the `--profile` plane): the
+    /// run loop, event dispatch, offer rounds, speculation scans and
+    /// trace emission are timed on one shared span stack. Recover the
+    /// profiler with [`run_instrumented`](Simulation::run_instrumented).
+    ///
+    /// Profiling never influences the simulation: spans only observe.
+    pub fn with_span_profiler(mut self, profiler: Box<SpanProfiler>) -> Self {
+        self.sched.set_span_profiler(profiler);
+        self
+    }
+
+    /// Enables a stderr progress heartbeat every `every_events` processed
+    /// events. Wall-clock plane: the output goes to stderr only and never
+    /// influences the simulation or anything serialized from it.
+    pub fn with_progress_heartbeat(mut self, every_events: u64) -> Self {
+        self.progress_every = Some(every_events.max(1));
+        self
+    }
+
     /// Runs to completion (or the safety horizon) and returns the report.
     pub fn run(self) -> SimReport {
         self.run_traced().0
@@ -262,23 +284,68 @@ impl Simulation {
     /// returns the decision-trace sink attached via
     /// [`with_trace_sink`](Simulation::with_trace_sink) (`None` if none
     /// was).
-    pub fn run_traced(mut self) -> (SimReport, Option<Box<dyn ssr_trace::TraceSink>>) {
-        let started = crate::walltime::Stopwatch::start();
-        self.run_loop();
-        let sink = self.sched.take_trace_sink();
-        let mut report = self.finish_report();
-        report.wall_secs = started.elapsed_secs();
+    pub fn run_traced(self) -> (SimReport, Option<Box<dyn ssr_trace::TraceSink>>) {
+        let (report, sink, _) = self.run_instrumented();
         (report, sink)
     }
 
+    /// [`run_traced`](Simulation::run_traced) plus the span profiler
+    /// attached via
+    /// [`with_span_profiler`](Simulation::with_span_profiler) (`None` if
+    /// none was), carrying the run's aggregated wall-clock spans.
+    pub fn run_instrumented(
+        mut self,
+    ) -> (SimReport, Option<Box<dyn ssr_trace::TraceSink>>, Option<Box<SpanProfiler>>) {
+        let started = crate::walltime::Stopwatch::start();
+        self.run_loop();
+        let sink = self.sched.take_trace_sink();
+        let profiler = self.sched.take_span_profiler();
+        let mut report = self.finish_report();
+        report.wall_secs = started.elapsed_secs();
+        (report, sink, profiler)
+    }
+
+    /// Opens a profiler span on the scheduler's span stack, if a
+    /// profiler is attached.
+    #[inline]
+    fn span_enter(&mut self, name: &str) {
+        if let Some(p) = self.sched.span_profiler_mut() {
+            p.enter(name);
+        }
+    }
+
+    /// Closes the innermost profiler span, if a profiler is attached.
+    #[inline]
+    fn span_exit(&mut self) {
+        if let Some(p) = self.sched.span_profiler_mut() {
+            p.exit();
+        }
+    }
+
     fn run_loop(&mut self) {
+        let heartbeat =
+            self.progress_every.map(|every| (crate::walltime::Stopwatch::start(), every));
+        self.span_enter("run_loop");
         while let Some((t, event)) = self.events.pop() {
             if t > self.horizon {
                 break;
             }
             self.collector.events_processed += 1;
+            if let Some((clock, every)) = &heartbeat {
+                if self.collector.events_processed.is_multiple_of(*every) {
+                    // Non-deterministic plane: stderr only, never reports.
+                    eprintln!(
+                        "[ssr-perf] {:7.1}s wall  {:>10} events  sim t={:.1}s  {} pending",
+                        clock.elapsed_secs(),
+                        self.collector.events_processed,
+                        t.as_secs_f64(),
+                        self.events.len(),
+                    );
+                }
+            }
             self.integrate_to(t);
             self.now = t;
+            self.span_enter("event_dispatch");
             match event {
                 Event::JobArrival(index) => {
                     let spec = self.jobs[index].clone();
@@ -290,6 +357,7 @@ impl Simulation {
                 }
                 Event::TaskFinish { slot, token } => {
                     if self.slot_tokens[slot.index()] != token {
+                        self.span_exit(); // event_dispatch
                         continue; // the instance on this slot was killed
                     }
                     let outcome = self.sched.task_finished(slot, t);
@@ -315,6 +383,7 @@ impl Simulation {
                 Event::Fault(index) => self.apply_fault(index, t),
                 Event::FaultHeal(index) => self.heal_fault(index, t),
             }
+            self.span_exit(); // event_dispatch
             self.dispatch();
             self.sample_timeseries();
             if !self.stop_names.is_empty() && self.stop_pending == 0 {
@@ -324,6 +393,7 @@ impl Simulation {
                 break;
             }
         }
+        self.span_exit(); // run_loop
     }
 
     /// Applies one scheduled [`FaultEvent`](ssr_faults::FaultEvent) and,
@@ -562,7 +632,12 @@ impl Simulation {
         // Close the occupancy integral at the last event time.
         let end = self.now;
         self.integrate_to(end);
-        // Hand the event-queue allocation back for the next trial.
+        // Fold the event queue's flow statistics into the run's work
+        // counters, then hand the allocation back for the next trial.
+        let counters = self.sched.work_counters().clone();
+        counters.events_pushed.add(self.events.pushed());
+        counters.events_popped.add(self.events.popped());
+        counters.peak_event_queue_len.high_water(self.events.peak_len() as u64);
         recycle_event_queue(std::mem::take(&mut self.events));
         // Report unfinished jobs too.
         let mut jobs: Vec<JobResult> =
@@ -599,6 +674,7 @@ impl Simulation {
             trace: self.collector.trace,
             events_processed: self.collector.events_processed,
             wall_secs: 0.0,
+            counters,
         }
     }
 }
@@ -1077,5 +1153,81 @@ mod tests {
             (total - expected).abs() < 1e-6,
             "integral {total} != slots x makespan {expected}"
         );
+    }
+
+    #[test]
+    fn work_counters_are_harvested_into_the_report() {
+        let job = pareto_pipeline("p", 2, 8, 1.0, 1.6, Priority::default()).unwrap();
+        let report =
+            Simulation::new(config(1, 4), PolicyConfig::ssr_strict(), OrderConfig::FifoPriority, vec![job])
+                .run();
+        let c = &report.counters;
+        assert!(!c.is_zero());
+        assert_eq!(c.tasks_assigned.get(), 16, "2 phases x 8 partitions, no copies");
+        assert!(c.offer_rounds.get() >= report.events_processed, "one round per event");
+        // Every processed event was popped; pops past the break are legal.
+        assert!(c.events_popped.get() >= report.events_processed);
+        assert!(c.events_pushed.get() >= c.events_popped.get());
+        assert!(c.peak_event_queue_len.get() > 0);
+        assert!(c.slots_scanned.get() > 0);
+        assert!(c.peak_running_instances.get() as usize <= 4, "cluster has 4 slots");
+    }
+
+    #[test]
+    fn span_profiling_only_observes() {
+        // The two-plane rule, end to end: a profiled run must produce a
+        // byte-identical report, and its spans must balance.
+        struct Zero;
+        impl ssr_perf::SpanClock for Zero {
+            fn now_secs(&self) -> f64 {
+                0.0
+            }
+        }
+        let job = || pareto_pipeline("p", 2, 8, 1.0, 1.6, Priority::default()).unwrap();
+        let build = || {
+            Simulation::new(
+                config(1, 4),
+                PolicyConfig::ssr_strict(),
+                OrderConfig::FifoPriority,
+                vec![job()],
+            )
+        };
+        let plain = build().run();
+        let (profiled, _, profiler) = build()
+            .with_span_profiler(Box::new(SpanProfiler::new(Box::new(Zero))))
+            .run_instrumented();
+        let profiler = profiler.expect("profiler attached");
+        assert_eq!(profiler.open_spans(), 0, "all spans must close");
+        let spans = profiler.report();
+        let paths: Vec<&str> = spans.rows.iter().map(|r| r.path.as_str()).collect();
+        assert!(paths.contains(&"run_loop"), "{paths:?}");
+        assert!(paths.contains(&"run_loop/event_dispatch"), "{paths:?}");
+        assert!(paths.contains(&"run_loop/offer_round"), "{paths:?}");
+        assert_eq!(plain.jct_secs("p"), profiled.jct_secs("p"));
+        assert_eq!(plain.events_processed, profiled.events_processed);
+        assert_eq!(plain.counters, profiled.counters, "counters ignore the profiler");
+    }
+
+    #[test]
+    fn progress_heartbeat_only_observes() {
+        let job = || map_only("m", 8, constant(2.0), Priority::default()).unwrap();
+        let build = |hb: bool| {
+            let sim = Simulation::new(
+                config(2, 2),
+                PolicyConfig::WorkConserving,
+                OrderConfig::FifoPriority,
+                vec![job()],
+            );
+            if hb {
+                sim.with_progress_heartbeat(1).run()
+            } else {
+                sim.run()
+            }
+        };
+        let quiet = build(false);
+        let chatty = build(true);
+        assert_eq!(quiet.jct_secs("m"), chatty.jct_secs("m"));
+        assert_eq!(quiet.events_processed, chatty.events_processed);
+        assert_eq!(quiet.counters, chatty.counters);
     }
 }

@@ -28,6 +28,8 @@ use crate::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    peak_len: usize,
+    popped: u64,
 }
 
 #[derive(Debug)]
@@ -61,12 +63,12 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, peak_len: 0, popped: 0 }
     }
 
     /// Creates an empty queue with capacity for `cap` pending events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, peak_len: 0, popped: 0 }
     }
 
     /// Schedules `event` at `time`.
@@ -74,11 +76,16 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.event))
     }
 
     /// The timestamp of the next event without removing it.
@@ -96,6 +103,25 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Highest number of events pending at once since construction (or
+    /// the last [`reset`](EventQueue::reset)).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total events pushed since construction (or the last
+    /// [`reset`](EventQueue::reset)).
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events popped since construction (or the last
+    /// [`reset`](EventQueue::reset)); events discarded by
+    /// [`clear`](EventQueue::clear) do not count.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -107,6 +133,8 @@ impl<E> EventQueue<E> {
     pub fn reset(&mut self) {
         self.heap.clear();
         self.next_seq = 0;
+        self.peak_len = 0;
+        self.popped = 0;
     }
 
     /// Reserves capacity for at least `additional` more events.
@@ -178,6 +206,32 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peak_len_and_flow_counters_track_traffic() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        for i in 0..5 {
+            q.push(SimTime::from_secs(1), i);
+        }
+        q.pop();
+        q.pop();
+        q.push(SimTime::from_secs(2), 9);
+        // High-water mark was 5; current length is 4.
+        assert_eq!(q.peak_len(), 5);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pushed(), 6);
+        assert_eq!(q.popped(), 2);
+        // clear() discards without counting as pops.
+        q.clear();
+        assert_eq!(q.popped(), 2);
+        assert_eq!(q.pushed(), 6);
+        // reset() restores the fresh-queue counters.
+        q.reset();
+        assert_eq!(q.peak_len(), 0);
+        assert_eq!(q.pushed(), 0);
+        assert_eq!(q.popped(), 0);
     }
 
     #[test]

@@ -222,6 +222,41 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_edge_cases_are_pinned() {
+        // Empty: no data, no estimate — pinned to None for every q.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), None, "empty histogram, q={q}");
+        }
+
+        // Single occupied bucket: every quantile is the mean, not a
+        // q-dependent interpolation fabricated inside the bucket.
+        let mut single = Histogram::default();
+        single.record(2.5); // bucket 3: (2, 4]
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), Some(2.5), "single sample, q={q}");
+        }
+        single.record(3.5); // same bucket; mean 3.0
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), Some(3.0), "single bucket, q={q}");
+        }
+
+        // Single occupied *overflow* bucket still clamps to the largest
+        // bound — the histogram has no upper edge to interpolate against.
+        let mut overflow = Histogram::default();
+        overflow.record(1000.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(overflow.quantile(q), Some(256.0), "overflow, q={q}");
+        }
+
+        // Two occupied buckets fall back to interpolation as before.
+        let mut two = Histogram::default();
+        two.record(2.5);
+        two.record(100.0);
+        assert_ne!(two.quantile(0.0), two.quantile(1.0), "spread is real");
+    }
+
+    #[test]
     fn metrics_json_is_sorted_pinned_and_byte_stable() {
         let render = || {
             let mut sink = MetricsSink::new();
@@ -248,10 +283,12 @@ mod tests {
         }
         // Pinned summary values for the sample stream: one reservation held
         // 2.5s (bucket (2, 4]), one task busy 1.5 slot-seconds for job 3.
+        // A single occupied bucket pins every quantile to the mean — the
+        // exact hold time here — not an interpolated spread.
         assert!(json.contains("\"count\": 1"), "{json}");
         assert!(json.contains("\"mean_secs\": 2.5"), "{json}");
-        assert!(json.contains("\"p50_secs\": 3.0"), "{json}");
-        assert!(json.contains("\"p99_secs\": 3.98"), "{json}");
+        assert!(json.contains("\"p50_secs\": 2.5"), "{json}");
+        assert!(json.contains("\"p99_secs\": 2.5"), "{json}");
         assert!(json.contains("\"3\": 1.5"), "{json}");
         assert!(json.contains("\"speculation_win_rate\": null"), "{json}");
     }

@@ -54,14 +54,28 @@ impl Histogram {
 
     /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts by
     /// linear interpolation within the containing bucket, the same estimator
-    /// Prometheus' `histogram_quantile` uses. Values in the overflow bucket
-    /// clamp to the largest bound. Returns `None` when the histogram is
-    /// empty.
+    /// Prometheus' `histogram_quantile` uses.
+    ///
+    /// Edge cases are pinned rather than left to the interpolation:
+    ///
+    /// - Empty histogram: `None` — there is no data to estimate from.
+    /// - Exactly one occupied bucket: every quantile returns the mean,
+    ///   clamped to the bucket's range. Interpolating would fabricate a
+    ///   q-dependent spread out of a distribution the buckets know nothing
+    ///   about; the mean is the one statistic the histogram tracks exactly
+    ///   (and equals the recorded value when `count == 1`).
+    /// - Values in the overflow bucket clamp to the largest bound, including
+    ///   the single-occupied-bucket mean.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
         let last_bound = HOLD_TIME_BOUNDS_SECS[HOLD_TIME_BOUNDS_SECS.len() - 1];
+        if let Some(i) = self.single_occupied_bucket() {
+            let hi = HOLD_TIME_BOUNDS_SECS.get(i).copied().unwrap_or(last_bound);
+            let lo = if i == 0 { 0.0 } else { HOLD_TIME_BOUNDS_SECS[i - 1] };
+            return Some(self.mean().clamp(lo, hi));
+        }
         let target = q.clamp(0.0, 1.0) * self.count as f64;
         let mut below = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -79,6 +93,21 @@ impl Histogram {
             below += n;
         }
         Some(last_bound)
+    }
+
+    /// Index of the only non-empty bucket, or `None` when zero or more than
+    /// one bucket holds samples.
+    fn single_occupied_bucket(&self) -> Option<usize> {
+        let mut occupied = None;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                if occupied.is_some() {
+                    return None;
+                }
+                occupied = Some(i);
+            }
+        }
+        occupied
     }
 }
 
